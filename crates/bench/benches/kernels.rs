@@ -1,0 +1,100 @@
+//! T5 — micro-benchmarks of the int8 inference kernels on
+//! representative zoo layers (host throughput; MCU timing comes from the
+//! cost model, but these keep the engine honest).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use rtmdm_dnn::kernels;
+use rtmdm_dnn::{Layer, LayerKind, Padding, QuantParams, Shape, Tensor};
+
+fn input(shape: Shape) -> Tensor {
+    let mut t = Tensor::filled_pattern(shape, 0xC0FFEE);
+    t.set_quant(QuantParams::symmetric(0.1));
+    t
+}
+
+fn bench_conv(c: &mut Criterion) {
+    // resnet8 stack-3 layer: 8×8×64 → 8×8×64, 3×3.
+    let kind = LayerKind::Conv2d {
+        in_c: 64,
+        out_c: 64,
+        kernel: (3, 3),
+        stride: (1, 1),
+        padding: Padding::Same,
+        relu: true,
+    };
+    let layer = Layer::with_synthetic_weights("conv", kind, 1);
+    let x = input(Shape::new(8, 8, 64));
+    let mut g = c.benchmark_group("kernels");
+    g.throughput(Throughput::Elements(kind.macs(x.shape())));
+    g.bench_function("conv2d_8x8x64_3x3", |b| {
+        b.iter(|| kernels::conv2d(&x, &layer))
+    });
+    g.finish();
+}
+
+fn bench_depthwise(c: &mut Criterion) {
+    // mobilenet block: 24×24×32 depthwise 3×3.
+    let kind = LayerKind::DepthwiseConv2d {
+        channels: 32,
+        kernel: (3, 3),
+        stride: (1, 1),
+        padding: Padding::Same,
+        relu: true,
+    };
+    let layer = Layer::with_synthetic_weights("dw", kind, 2);
+    let x = input(Shape::new(24, 24, 32));
+    let mut g = c.benchmark_group("kernels");
+    g.throughput(Throughput::Elements(kind.macs(x.shape())));
+    g.bench_function("depthwise_24x24x32_3x3", |b| {
+        b.iter(|| kernels::depthwise_conv2d(&x, &layer))
+    });
+    g.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    // autoencoder layer: 640 → 128.
+    let kind = LayerKind::Dense {
+        in_features: 640,
+        out_features: 128,
+        relu: true,
+    };
+    let layer = Layer::with_synthetic_weights("fc", kind, 3);
+    let x = input(Shape::flat(640));
+    let mut g = c.benchmark_group("kernels");
+    g.throughput(Throughput::Elements(kind.macs(x.shape())));
+    g.bench_function("dense_640x128", |b| b.iter(|| kernels::dense(&x, &layer)));
+    g.finish();
+}
+
+fn bench_pool_and_softmax(c: &mut Criterion) {
+    let x = input(Shape::new(32, 32, 16));
+    c.bench_function("avg_pool_32x32x16_2x2", |b| {
+        b.iter(|| kernels::avg_pool2d(&x, (2, 2), (2, 2)))
+    });
+    c.bench_function("global_avg_pool_32x32x16", |b| {
+        b.iter(|| kernels::global_avg_pool(&x))
+    });
+    let logits = input(Shape::flat(12));
+    c.bench_function("softmax_12", |b| b.iter(|| kernels::softmax(&logits)));
+}
+
+fn bench_full_models(c: &mut Criterion) {
+    use rtmdm_dnn::zoo;
+    for model in [zoo::micro_mlp(), zoo::ds_cnn(), zoo::resnet8()] {
+        let x = input(model.input_shape());
+        c.bench_function(&format!("infer_{}", model.name()), |b| {
+            b.iter(|| model.infer(&x).expect("inference"))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_conv,
+    bench_depthwise,
+    bench_dense,
+    bench_pool_and_softmax,
+    bench_full_models
+);
+criterion_main!(benches);

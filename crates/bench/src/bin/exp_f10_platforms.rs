@@ -1,0 +1,4 @@
+//! Regenerates experiment `f10_platforms` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f10_platforms", &rtmdm_bench::experiments::f10_platforms());
+}

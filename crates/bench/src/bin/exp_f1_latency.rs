@@ -1,0 +1,4 @@
+//! Regenerates experiment `f1_latency` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f1_latency", &rtmdm_bench::experiments::f1_latency());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `f3_miss_ratio` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f3_miss_ratio", &rtmdm_bench::experiments::f3_miss_ratio());
+}

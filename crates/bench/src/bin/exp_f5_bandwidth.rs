@@ -1,0 +1,4 @@
+//! Regenerates experiment `f5_bandwidth` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f5_bandwidth", &rtmdm_bench::experiments::f5_bandwidth());
+}

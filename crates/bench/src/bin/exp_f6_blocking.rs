@@ -1,0 +1,4 @@
+//! Regenerates experiment `f6_blocking` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f6_blocking", &rtmdm_bench::experiments::f6_blocking());
+}

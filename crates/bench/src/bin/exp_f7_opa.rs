@@ -1,0 +1,4 @@
+//! Regenerates experiment `f7_opa` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f7_opa", &rtmdm_bench::experiments::f7_opa());
+}

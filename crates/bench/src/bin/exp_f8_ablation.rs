@@ -1,0 +1,4 @@
+//! Regenerates experiment `f8_ablation` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f8_ablation", &rtmdm_bench::experiments::f8_ablation());
+}

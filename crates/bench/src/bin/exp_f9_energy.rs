@@ -1,0 +1,4 @@
+//! Regenerates experiment `f9_energy` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f9_energy", &rtmdm_bench::experiments::f9_energy());
+}

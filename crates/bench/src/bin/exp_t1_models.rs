@@ -1,0 +1,4 @@
+//! Regenerates experiment `t1_models` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("t1_models", &rtmdm_bench::experiments::t1_models());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment `t2_platforms` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("t2_platforms", &rtmdm_bench::experiments::t2_platforms());
+}

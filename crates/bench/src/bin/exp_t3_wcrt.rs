@@ -1,0 +1,4 @@
+//! Regenerates experiment `t3_wcrt` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("t3_wcrt", &rtmdm_bench::experiments::t3_wcrt());
+}

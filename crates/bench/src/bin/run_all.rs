@@ -1,0 +1,18 @@
+//! Regenerates every table and figure of the evaluation in one go.
+use rtmdm_bench::{emit, experiments as e};
+
+fn main() {
+    emit("t1_models", &e::t1_models());
+    emit("t2_platforms", &e::t2_platforms());
+    emit("t3_wcrt", &e::t3_wcrt());
+    emit("f1_latency", &e::f1_latency());
+    emit("f2_sched_ratio", &e::f2_sched_ratio());
+    emit("f3_miss_ratio", &e::f3_miss_ratio());
+    emit("f4_sram_budget", &e::f4_sram_budget());
+    emit("f5_bandwidth", &e::f5_bandwidth());
+    emit("f6_blocking", &e::f6_blocking());
+    emit("f7_opa", &e::f7_opa());
+    emit("f8_ablation", &e::f8_ablation());
+    emit("f9_energy", &e::f9_energy());
+    emit("f10_platforms", &e::f10_platforms());
+}

@@ -1,0 +1,229 @@
+//! Figures F2 (schedulability ratio), F3 (simulated miss behaviour),
+//! and F7 (priority-assignment comparison).
+
+use rtmdm_core::report;
+use rtmdm_sched::analysis::{
+    rta_limited_preemption, rta_limited_preemption_with, rta_memory_oblivious,
+    sync_simulation_accepts, SchedulerMode,
+};
+use rtmdm_sched::assign::{audsley, dm_order, rm_order};
+use rtmdm_sched::baseline;
+use rtmdm_sched::gen::{generate, TasksetParams};
+use rtmdm_sched::sim::{simulate, Policy, SimConfig};
+use rtmdm_sched::TaskSet;
+
+use super::{eval_platform, pct};
+
+fn params(n: usize, util_pct: u64) -> TasksetParams {
+    let mut p = TasksetParams::baseline(n, util_pct * 10_000);
+    p.segments_range = (3, 6);
+    p.fetch_compute_ratio_ppm = 200_000;
+    p
+}
+
+/// The five admission policies compared in F2/F3.
+fn policies() -> Vec<&'static str> {
+    vec![
+        "rt-mdm (gated)",
+        "rt-mdm (work-conserving)",
+        "B1 fetch-then-compute",
+        "B2 whole-dnn",
+        "B4 memory-oblivious",
+    ]
+}
+
+fn admit(ts: &TaskSet, which: usize) -> bool {
+    let p = eval_platform();
+    let ordered = ts.reordered(&dm_order(ts));
+    match which {
+        0 => rta_limited_preemption_with(&ordered, &p, SchedulerMode::Gated).schedulable,
+        1 => rta_limited_preemption_with(&ordered, &p, SchedulerMode::WorkConserving).schedulable,
+        2 => {
+            let b1 = baseline::transform_set(&ordered, |t| baseline::fetch_then_compute(t, &p));
+            rta_limited_preemption(&b1, &p).schedulable
+        }
+        3 => {
+            let b2 = baseline::transform_set(&ordered, |t| {
+                baseline::whole_job(&baseline::fetch_then_compute(t, &p))
+            });
+            rta_limited_preemption(&b2, &p).schedulable
+        }
+        4 => rta_memory_oblivious(&ordered, &p).schedulable,
+        _ => unreachable!(),
+    }
+}
+
+/// F2 — fraction of random task sets each admission test accepts, per
+/// total compute utilization. Expected shape: gated rt-mdm dominates B1
+/// and B2 everywhere; work-conserving trades blocking for interference
+/// (crossing gated at low utilization); the memory-oblivious curve sits
+/// highest — and F3 shows why that is not a virtue.
+pub fn f2_sched_ratio() -> String {
+    const SETS: u32 = 300;
+    let mut rows = Vec::new();
+    for util in [5u64, 10, 15, 20, 25, 30, 40, 50, 60] {
+        let mut accepted = [0u32; 5];
+        for seed in 0..SETS {
+            let ts = generate(&params(4, util), &eval_platform(), u64::from(seed));
+            for (i, acc) in accepted.iter_mut().enumerate() {
+                if admit(&ts, i) {
+                    *acc += 1;
+                }
+            }
+        }
+        let mut row = vec![format!("{util}%")];
+        row.extend(accepted.iter().map(|&a| pct(a, SETS)));
+        rows.push(row);
+    }
+    let mut headers = vec!["compute util"];
+    headers.extend(policies());
+    let main = report::table(&headers, &rows);
+
+    // Second panel: analysis vs empirical acceptance. Grid periods keep
+    // hyperperiods within 2 s, so every set can be exhaustively
+    // simulated from the synchronous release pattern (an *upper* bound
+    // on true sporadic schedulability). The gap between the two curves
+    // is the analysis's pessimism.
+    const SETS2: u32 = 120;
+    let mut rows2 = Vec::new();
+    for util in [10u64, 20, 30, 40, 50, 60, 70] {
+        let mut analytical = 0u32;
+        let mut empirical = 0u32;
+        for seed in 0..SETS2 {
+            let prm = params(4, util).with_grid_periods();
+            let ts = generate(&prm, &eval_platform(), u64::from(seed));
+            let ordered = ts.reordered(&dm_order(&ts));
+            if rta_limited_preemption(&ordered, &eval_platform()).schedulable {
+                analytical += 1;
+            }
+            if sync_simulation_accepts(
+                &ordered,
+                &eval_platform(),
+                Policy::FixedPriority,
+                false,
+            ) == Some(true)
+            {
+                empirical += 1;
+            }
+        }
+        rows2.push(vec![
+            format!("{util}%"),
+            pct(analytical, SETS2),
+            pct(empirical, SETS2),
+        ]);
+    }
+    let second = report::table(
+        &[
+            "compute util",
+            "rt-mdm analysis",
+            "empirical (sync simulation)",
+        ],
+        &rows2,
+    );
+    format!("{main}\nanalysis vs empirical acceptance (grid periods):\n{second}")
+}
+
+/// F3 — what actually happens on the platform: per policy, the fraction
+/// of *admitted* sets that then miss a deadline in simulation (must be 0
+/// for every sound analysis, and is decidedly not 0 for the
+/// memory-oblivious baseline), plus the raw job-level miss ratio when
+/// every set is run regardless of admission.
+pub fn f3_miss_ratio() -> String {
+    const SETS: u32 = 100;
+    let p = eval_platform();
+    let mut rows = Vec::new();
+    for util in [10u64, 20, 30, 40, 50] {
+        // Columns: admitted-then-missed for gated / B1 / oblivious, and
+        // raw job miss ratio under the gated runtime.
+        let mut admitted = [0u32; 3];
+        let mut admitted_missed = [0u32; 3];
+        let mut jobs_total = 0u64;
+        let mut jobs_missed = 0u64;
+        for seed in 0..SETS {
+            let ts = generate(&params(4, util), &p, u64::from(seed));
+            let ordered = ts.reordered(&dm_order(&ts));
+            let horizon = ordered.tasks().iter().map(|t| t.period).max().unwrap() * 4;
+            let config = SimConfig::new(horizon, Policy::FixedPriority);
+
+            // Gated rt-mdm.
+            let run = simulate(&ordered, &p, &config);
+            jobs_total += run.stats.iter().map(|s| s.releases).sum::<u64>();
+            jobs_missed += run.total_misses();
+            if rta_limited_preemption(&ordered, &p).schedulable {
+                admitted[0] += 1;
+                if run.total_misses() > 0 {
+                    admitted_missed[0] += 1;
+                }
+            }
+            // B1.
+            let b1 = baseline::transform_set(&ordered, |t| baseline::fetch_then_compute(t, &p));
+            if rta_limited_preemption(&b1, &p).schedulable {
+                admitted[1] += 1;
+                if simulate(&b1, &p, &config).total_misses() > 0 {
+                    admitted_missed[1] += 1;
+                }
+            }
+            // B4: memory-oblivious admission, reality-check on the real
+            // platform semantics (gated runtime).
+            if rta_memory_oblivious(&ordered, &p).schedulable {
+                admitted[2] += 1;
+                if run.total_misses() > 0 {
+                    admitted_missed[2] += 1;
+                }
+            }
+        }
+        rows.push(vec![
+            format!("{util}%"),
+            format!("{}/{}", admitted_missed[0], admitted[0]),
+            format!("{}/{}", admitted_missed[1], admitted[1]),
+            format!("{}/{}", admitted_missed[2], admitted[2]),
+            format!(
+                "{:.2}%",
+                100.0 * jobs_missed as f64 / jobs_total.max(1) as f64
+            ),
+        ]);
+    }
+    report::table(
+        &[
+            "compute util",
+            "gated admitted→missed",
+            "B1 admitted→missed",
+            "B4 oblivious admitted→missed",
+            "raw job miss ratio (gated)",
+        ],
+        &rows,
+    )
+}
+
+/// F7 — priority assignment: RM vs DM vs Audsley OPA acceptance under
+/// the gated rt-mdm analysis, constrained deadlines. Expected shape:
+/// OPA ≥ DM ≥ RM at every utilization.
+pub fn f7_opa() -> String {
+    const SETS: u32 = 300;
+    let p = eval_platform();
+    let mut rows = Vec::new();
+    for util in [25u64, 35, 45, 55, 65, 75] {
+        let mut wins = [0u32; 3];
+        for seed in 0..SETS {
+            let mut prm = params(4, util);
+            prm.deadline_factor_range_ppm = (500_000, 1_000_000);
+            let ts = generate(&prm, &p, u64::from(seed));
+            if rta_limited_preemption(&ts.reordered(&rm_order(&ts)), &p).schedulable {
+                wins[0] += 1;
+            }
+            if rta_limited_preemption(&ts.reordered(&dm_order(&ts)), &p).schedulable {
+                wins[1] += 1;
+            }
+            if audsley(&ts, &p).is_some() {
+                wins[2] += 1;
+            }
+        }
+        rows.push(vec![
+            format!("{util}%"),
+            pct(wins[0], SETS),
+            pct(wins[1], SETS),
+            pct(wins[2], SETS),
+        ]);
+    }
+    report::table(&["compute util", "RM", "DM", "Audsley OPA"], &rows)
+}

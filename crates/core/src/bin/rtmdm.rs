@@ -1,0 +1,240 @@
+//! `rtmdm` — command-line front end of the framework.
+//!
+//! ```text
+//! rtmdm platforms
+//! rtmdm models
+//! rtmdm admit    --platform stm32f746-qspi --task kws=ds-cnn@100 --task ic=resnet8@400
+//! rtmdm simulate --platform stm32f746-qspi --task kws=ds-cnn@100 --seconds 2
+//! rtmdm optimize --platform stm32f746-qspi --task kws=ds-cnn@100 --task ic=resnet8@400
+//! ```
+//!
+//! Task syntax: `name=model@period_ms[/deadline_ms][:strategy]` with
+//! strategy one of `rt-mdm`, `fetch-then-compute`, `whole-dnn`,
+//! `all-in-sram`. Exit status: 0 on success (and schedulable for
+//! `admit`), 2 when admission rejects, 1 on usage errors.
+
+use std::process::ExitCode;
+
+use rtmdm_core::{report, FrameworkOptions, RtMdm, Strategy, TaskSpec};
+use rtmdm_dnn::zoo;
+use rtmdm_mcusim::PlatformConfig;
+use rtmdm_sched::sim::Policy;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rtmdm <platforms|models|admit|simulate|optimize> \
+         [--platform NAME] [--task name=model@period_ms[/deadline_ms][:strategy]]… \
+         [--seconds S] [--jitter PCT] [--seed N] [--edf] [--work-conserving]"
+    );
+    ExitCode::from(1)
+}
+
+struct Cli {
+    platform: PlatformConfig,
+    tasks: Vec<TaskSpec>,
+    seconds: u64,
+    jitter_pct: u64,
+    seed: u64,
+    options: FrameworkOptions,
+}
+
+fn parse_strategy(s: &str) -> Option<Strategy> {
+    match s {
+        "rt-mdm" => Some(Strategy::RtMdm),
+        "fetch-then-compute" => Some(Strategy::FetchThenCompute),
+        "whole-dnn" => Some(Strategy::WholeDnn),
+        "all-in-sram" => Some(Strategy::AllInSram),
+        _ => None,
+    }
+}
+
+fn parse_task(arg: &str) -> Option<TaskSpec> {
+    // name=model@period_ms[/deadline_ms][:strategy]
+    let (name, rest) = arg.split_once('=')?;
+    let (model_name, rest) = rest.split_once('@')?;
+    let (timing, strategy) = match rest.split_once(':') {
+        Some((t, s)) => (t, Some(s)),
+        None => (rest, None),
+    };
+    let (period_ms, deadline_ms) = match timing.split_once('/') {
+        Some((p, d)) => (p.parse::<u64>().ok()?, d.parse::<u64>().ok()?),
+        None => {
+            let p = timing.parse::<u64>().ok()?;
+            (p, p)
+        }
+    };
+    let model = zoo::by_name(model_name)?;
+    let mut spec = TaskSpec::new(name, model, period_ms * 1000, deadline_ms * 1000);
+    if let Some(s) = strategy {
+        spec = spec.with_strategy(parse_strategy(s)?);
+    }
+    Some(spec)
+}
+
+fn parse(args: &[String]) -> Option<Cli> {
+    let mut platform = PlatformConfig::stm32f746_qspi();
+    let mut tasks = Vec::new();
+    let mut seconds = 2u64;
+    let mut jitter_pct = 0u64;
+    let mut seed = 0u64;
+    let mut options = FrameworkOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--platform" => {
+                let name = it.next()?;
+                platform = PlatformConfig::presets()
+                    .into_iter()
+                    .find(|p| &p.name == name)?;
+            }
+            "--task" => tasks.push(parse_task(it.next()?)?),
+            "--seconds" => seconds = it.next()?.parse().ok()?,
+            "--jitter" => jitter_pct = it.next()?.parse().ok()?,
+            "--seed" => seed = it.next()?.parse().ok()?,
+            "--edf" => options.policy = Policy::Edf,
+            "--work-conserving" => options.work_conserving = true,
+            _ => return None,
+        }
+    }
+    Some(Cli {
+        platform,
+        tasks,
+        seconds,
+        jitter_pct: jitter_pct.min(99),
+        seed,
+        options,
+    })
+}
+
+fn build(cli: &Cli) -> Result<RtMdm, String> {
+    let mut fw = RtMdm::with_options(cli.platform.clone(), cli.options.clone())
+        .map_err(|e| e.to_string())?;
+    for t in &cli.tasks {
+        fw.add_task(t.clone()).map_err(|e| e.to_string())?;
+    }
+    Ok(fw)
+}
+
+fn cmd_platforms() -> ExitCode {
+    let rows: Vec<Vec<String>> = PlatformConfig::presets()
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                p.cpu.to_string(),
+                format!("{} KiB", p.sram_bytes / 1024),
+                p.ext_mem.kind.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", report::table(&["platform", "cpu", "sram", "ext-mem"], &rows));
+    ExitCode::SUCCESS
+}
+
+fn cmd_models() -> ExitCode {
+    let rows: Vec<Vec<String>> = zoo::all()
+        .iter()
+        .map(|m| {
+            vec![
+                m.name().to_owned(),
+                m.len().to_string(),
+                format!("{} KiB", m.total_weight_bytes() / 1024),
+                format!("{}k", m.total_macs() / 1000),
+            ]
+        })
+        .collect();
+    println!("{}", report::table(&["model", "layers", "weights", "MACs"], &rows));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "platforms" => return cmd_platforms(),
+        "models" => return cmd_models(),
+        "admit" | "simulate" | "optimize" => {}
+        _ => return usage(),
+    }
+    let Some(cli) = parse(&args[1..]) else {
+        return usage();
+    };
+    if cli.tasks.is_empty() {
+        eprintln!("rtmdm: at least one --task is required");
+        return usage();
+    }
+    let fw = match build(&cli) {
+        Ok(fw) => fw,
+        Err(e) => {
+            eprintln!("rtmdm: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd.as_str() {
+        "admit" => match fw.admit() {
+            Ok(a) => {
+                println!("{}", a.to_table());
+                println!("occupancy: {}", report::ppm_as_pct(a.occupancy_ppm));
+                println!(
+                    "sram: {} / {} bytes",
+                    a.sram_total(),
+                    fw.platform().sram_bytes
+                );
+                if a.schedulable() {
+                    println!("verdict: SCHEDULABLE");
+                    ExitCode::SUCCESS
+                } else {
+                    println!("verdict: NOT SCHEDULABLE");
+                    ExitCode::from(2)
+                }
+            }
+            Err(e) => {
+                eprintln!("rtmdm: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "simulate" => {
+            let scale_min = 1_000_000 - cli.jitter_pct * 10_000;
+            match fw.simulate_with(cli.seconds * 1_000_000, scale_min, cli.seed) {
+                Ok(run) => {
+                    println!("{}", run.to_table());
+                    println!("misses: {}", run.deadline_misses());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("rtmdm: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "optimize" => match fw.optimize() {
+            Ok(Some(out)) => {
+                let rows: Vec<Vec<String>> = fw
+                    .specs()
+                    .iter()
+                    .zip(&out.strategies)
+                    .map(|(spec, s)| vec![spec.name.clone(), s.to_string()])
+                    .collect();
+                println!("{}", report::table(&["task", "strategy"], &rows));
+                println!(
+                    "sram: {} bytes, headroom: {}, candidates admitted: {}",
+                    out.sram_used,
+                    report::ppm_as_pct(out.scaling_ppm),
+                    out.admissible_count
+                );
+                ExitCode::SUCCESS
+            }
+            Ok(None) => {
+                println!("no admissible configuration found");
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("rtmdm: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => usage(),
+    }
+}

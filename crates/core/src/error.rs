@@ -1,0 +1,91 @@
+//! Framework-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use rtmdm_mcusim::ConfigError;
+use rtmdm_sched::TaskError;
+use rtmdm_xmem::PlanError;
+
+/// A task could not be added or the set could not be admitted.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AdmitError {
+    /// The platform configuration is invalid.
+    Platform(ConfigError),
+    /// Memory planning (segmentation or SRAM layout) failed.
+    Memory(PlanError),
+    /// A task's timing parameters are inconsistent.
+    Task(TaskError),
+    /// A task name was used twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// `simulate` or `admit` was called on an empty framework.
+    NoTasks,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::Platform(e) => write!(f, "platform configuration: {e}"),
+            AdmitError::Memory(e) => write!(f, "memory planning: {e}"),
+            AdmitError::Task(e) => write!(f, "task parameters: {e}"),
+            AdmitError::DuplicateName { name } => {
+                write!(f, "a task named {name} already exists")
+            }
+            AdmitError::NoTasks => write!(f, "no tasks have been added"),
+        }
+    }
+}
+
+impl Error for AdmitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AdmitError::Platform(e) => Some(e),
+            AdmitError::Memory(e) => Some(e),
+            AdmitError::Task(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for AdmitError {
+    fn from(e: ConfigError) -> Self {
+        AdmitError::Platform(e)
+    }
+}
+
+impl From<PlanError> for AdmitError {
+    fn from(e: PlanError) -> Self {
+        AdmitError::Memory(e)
+    }
+}
+
+impl From<TaskError> for AdmitError {
+    fn from(e: TaskError) -> Self {
+        AdmitError::Task(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = AdmitError::from(PlanError::ZeroBuffer);
+        assert!(e.to_string().contains("memory planning"));
+        assert!(e.source().is_some());
+        let d = AdmitError::DuplicateName { name: "kws".into() };
+        assert!(d.to_string().contains("kws"));
+        assert!(d.source().is_none());
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<AdmitError>();
+    }
+}

@@ -1,0 +1,793 @@
+//! The RT-MDM framework: admission control and execution.
+
+use serde::{Deserialize, Serialize};
+
+use rtmdm_dnn::CostModel;
+use rtmdm_mcusim::{Cycles, PlatformConfig};
+use rtmdm_mcusim::{EnergyModel, EnergyReport};
+use rtmdm_sched::analysis::{
+    edf_demand_test, occupancy_utilization_ppm, rta_limited_preemption_with,
+    rta_memory_oblivious, AnalysisOutcome, SchedulerMode,
+};
+use rtmdm_sched::assign::{audsley, dm_order, rm_order};
+use rtmdm_sched::baseline;
+use rtmdm_sched::sim::{simulate, Policy, SimConfig, SimResult};
+use rtmdm_sched::{Segment, SporadicTask, StagingMode, TaskSet};
+use rtmdm_xmem::{segment_model, ModelSegmentation, PlanError, SramArena};
+
+use crate::error::AdmitError;
+use crate::report;
+use crate::spec::{Strategy, TaskSpec};
+
+/// How priorities are assigned before analysis and simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum PriorityAssignment {
+    /// Deadline-monotonic (the framework default).
+    #[default]
+    DeadlineMonotonic,
+    /// Rate-monotonic.
+    RateMonotonic,
+    /// The order tasks were added in.
+    InsertionOrder,
+    /// Audsley's optimal assignment over the RT-MDM analysis; falls
+    /// back to deadline-monotonic when no feasible assignment exists
+    /// (admission will then report unschedulable).
+    Audsley,
+}
+
+/// Framework configuration knobs (also the levers of the ablation
+/// study, experiment F8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameworkOptions {
+    /// CPU/DMA scheduling policy.
+    pub policy: Policy,
+    /// Priority-assignment rule (fixed-priority policies only).
+    pub assignment: PriorityAssignment,
+    /// Cost model translating layers into cycles.
+    pub cost_model: CostModel,
+    /// When `false`, admission uses the memory-oblivious analysis
+    /// (ablation (iii): demonstrates unsound admission).
+    pub dma_aware_analysis: bool,
+    /// When set, every task's strategy is overridden (ablation (i)/(ii):
+    /// force `FetchThenCompute` to disable prefetch, `WholeDnn` to
+    /// disable segment-level preemption).
+    pub force_strategy: Option<Strategy>,
+    /// Dispatch discipline: `false` (default) is RT-MDM's priority-gated
+    /// non-work-conserving rule; `true` is work-conserving dispatch
+    /// (ablation (iv): repeated lower-priority blocking).
+    pub work_conserving: bool,
+    /// Cap on any segment's compute time, in microseconds. `None`
+    /// (default) derives the cap automatically as a quarter of the
+    /// shortest deadline in the set, which bounds the non-preemptive
+    /// blocking any task can impose.
+    pub segment_compute_cap_us: Option<u64>,
+    /// When `true` (default), layers whose compute alone exceeds the
+    /// segment cap are tiled into row-slices with intra-layer preemption
+    /// points, lifting the blocking floor of layer granularity.
+    pub tile_oversized_layers: bool,
+}
+
+impl Default for FrameworkOptions {
+    fn default() -> Self {
+        FrameworkOptions {
+            policy: Policy::FixedPriority,
+            assignment: PriorityAssignment::DeadlineMonotonic,
+            cost_model: CostModel::cmsis_nn_m7(),
+            dma_aware_analysis: true,
+            force_strategy: None,
+            work_conserving: false,
+            segment_compute_cap_us: None,
+            tile_oversized_layers: true,
+        }
+    }
+}
+
+/// The RT-MDM framework instance: a platform, a set of DNN task
+/// specifications, admission control, and a simulator binding.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_core::{RtMdm, TaskSpec};
+/// use rtmdm_dnn::zoo;
+/// use rtmdm_mcusim::PlatformConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut fw = RtMdm::new(PlatformConfig::stm32f746_qspi())?;
+/// fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))?;
+/// let admission = fw.admit()?;
+/// assert!(admission.schedulable());
+/// let run = fw.simulate(1_000_000)?;
+/// assert_eq!(run.deadline_misses(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtMdm {
+    platform: PlatformConfig,
+    options: FrameworkOptions,
+    specs: Vec<TaskSpec>,
+}
+
+impl RtMdm {
+    /// Creates a framework with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitError::Platform`] if the platform is invalid.
+    pub fn new(platform: PlatformConfig) -> Result<Self, AdmitError> {
+        RtMdm::with_options(platform, FrameworkOptions::default())
+    }
+
+    /// Creates a framework with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitError::Platform`] if the platform is invalid.
+    pub fn with_options(
+        platform: PlatformConfig,
+        options: FrameworkOptions,
+    ) -> Result<Self, AdmitError> {
+        platform.validate()?;
+        Ok(RtMdm {
+            platform,
+            options,
+            specs: Vec::new(),
+        })
+    }
+
+    /// The platform this framework targets.
+    pub fn platform(&self) -> &PlatformConfig {
+        &self.platform
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &FrameworkOptions {
+        &self.options
+    }
+
+    /// The task specifications added so far.
+    pub fn specs(&self) -> &[TaskSpec] {
+        &self.specs
+    }
+
+    /// Adds a DNN task. Fails fast on duplicate names, inconsistent
+    /// timing, or a model whose largest layer exceeds its fetch buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::DuplicateName`], [`AdmitError::Task`], or
+    /// [`AdmitError::Memory`].
+    pub fn add_task(&mut self, spec: TaskSpec) -> Result<(), AdmitError> {
+        if self.specs.iter().any(|s| s.name == spec.name) {
+            return Err(AdmitError::DuplicateName {
+                name: spec.name.clone(),
+            });
+        }
+        // Validate segmentation eagerly so the caller learns about an
+        // undersized buffer at add time, not at admission.
+        let _ = segment_model(
+            &spec.model,
+            &self.options.cost_model,
+            spec.resolved_buffer_bytes(),
+        )?;
+        // Validate timing by constructing a throwaway task.
+        let period = self.platform.cpu.cycles_from_micros(spec.period_us);
+        let deadline = self.platform.cpu.cycles_from_micros(spec.deadline_us);
+        let _ = SporadicTask::new(
+            spec.name.clone(),
+            period,
+            deadline,
+            vec![Segment::new(Cycles::new(1), 0)],
+            StagingMode::Resident,
+        )?;
+        self.specs.push(spec);
+        Ok(())
+    }
+
+    fn strategy_of(&self, spec: &TaskSpec) -> Strategy {
+        self.options.force_strategy.unwrap_or(spec.strategy)
+    }
+
+    /// Replaces every spec's strategy (advisor support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategies.len()` differs from the task count.
+    pub(crate) fn set_strategies(&mut self, strategies: &[Strategy]) {
+        assert_eq!(strategies.len(), self.specs.len());
+        for (spec, &s) in self.specs.iter_mut().zip(strategies) {
+            spec.strategy = s;
+        }
+    }
+
+    /// Crate-internal access to the built task set (advisor support).
+    pub(crate) fn build_public(&self) -> Result<(TaskSet, Vec<ModelSegmentation>), AdmitError> {
+        self.build()
+    }
+
+    /// Crate-internal access to the priority permutation.
+    pub(crate) fn priority_order_public(&self, ts: &TaskSet) -> Vec<usize> {
+        self.priority_order(ts)
+    }
+
+    /// The per-segment compute cap used when segmenting: the explicit
+    /// option, or a quarter of the shortest deadline in the set.
+    fn compute_cap(&self) -> Option<Cycles> {
+        if let Some(us) = self.options.segment_compute_cap_us {
+            return Some(self.platform.cpu.cycles_from_micros(us));
+        }
+        self.specs
+            .iter()
+            .map(|s| self.platform.cpu.cycles_from_micros(s.deadline_us))
+            .min()
+            .map(|d| (d / 4).max(Cycles::new(1)))
+    }
+
+    /// Builds the scheduler task set (insertion order) plus each task's
+    /// segmentation plan.
+    fn build(&self) -> Result<(TaskSet, Vec<ModelSegmentation>), AdmitError> {
+        let cap = self.compute_cap();
+        let mut tasks = Vec::with_capacity(self.specs.len());
+        let mut plans = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let mut seg = match (cap, self.options.tile_oversized_layers) {
+                (Some(cap), true) => rtmdm_xmem::segment_model_tiled(
+                    &spec.model,
+                    &self.options.cost_model,
+                    spec.resolved_buffer_bytes(),
+                    cap,
+                )?,
+                _ => rtmdm_xmem::segment_model_capped(
+                    &spec.model,
+                    &self.options.cost_model,
+                    spec.resolved_buffer_bytes(),
+                    cap,
+                )?,
+            };
+            // Activation spilling: a capped activation budget turns
+            // oversized feature maps into extra staging traffic, priced
+            // into the segment that produces each spilled tensor.
+            if let Some(budget) = spec.activation_budget_bytes {
+                let spill = rtmdm_xmem::spill::plan_spill(&spec.model, budget);
+                for &layer in &spill.spilled_layers {
+                    let extra =
+                        2 * spec.model.nodes()[layer].out_shape.len() as u64;
+                    if let Some(s) = seg
+                        .segments
+                        .iter_mut()
+                        .find(|s| s.first_layer <= layer && layer <= s.last_layer)
+                    {
+                        s.fetch_bytes += extra;
+                    }
+                }
+            }
+            let segments: Vec<Segment> = seg
+                .segments
+                .iter()
+                .map(|s| Segment::new(s.compute_cycles, s.fetch_bytes))
+                .collect();
+            let base = SporadicTask::new(
+                spec.name.clone(),
+                self.platform.cpu.cycles_from_micros(spec.period_us),
+                self.platform.cpu.cycles_from_micros(spec.deadline_us),
+                segments,
+                StagingMode::Overlapped,
+            )?;
+            let task = match self.strategy_of(spec) {
+                Strategy::RtMdm => base,
+                Strategy::FetchThenCompute => baseline::fetch_then_compute(&base, &self.platform),
+                Strategy::WholeDnn => {
+                    baseline::whole_job(&baseline::fetch_then_compute(&base, &self.platform))
+                }
+                Strategy::AllInSram => baseline::resident(&base),
+            };
+            tasks.push(task);
+            plans.push(seg);
+        }
+        Ok((TaskSet::from_tasks(tasks), plans))
+    }
+
+    /// The priority permutation for the built (insertion-order) set.
+    fn priority_order(&self, ts: &TaskSet) -> Vec<usize> {
+        match self.options.assignment {
+            PriorityAssignment::InsertionOrder => (0..ts.len()).collect(),
+            PriorityAssignment::DeadlineMonotonic => dm_order(ts),
+            PriorityAssignment::RateMonotonic => rm_order(ts),
+            PriorityAssignment::Audsley => {
+                audsley(ts, &self.platform).unwrap_or_else(|| dm_order(ts))
+            }
+        }
+    }
+
+    /// Plans SRAM for the task set, honouring each task's strategy.
+    fn plan_sram(&self) -> Result<Vec<SramRow>, AdmitError> {
+        let mut arena = SramArena::new(self.platform.sram_bytes);
+        arena.alloc("runtime-reserve", rtmdm_xmem::SramLayout::RUNTIME_RESERVE, 8)?;
+        let mut rows = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let act = spec.resolved_activation_bytes();
+            arena.alloc(format!("{}-activations", spec.name), act, 8)?;
+            let weights = match self.strategy_of(spec) {
+                Strategy::RtMdm | Strategy::FetchThenCompute => {
+                    2 * spec.resolved_buffer_bytes()
+                }
+                // Whole-DNN staging and resident weights both need the
+                // full parameter footprint at once.
+                Strategy::WholeDnn | Strategy::AllInSram => {
+                    spec.model.total_weight_bytes().max(1)
+                }
+            };
+            arena.alloc(format!("{}-weights", spec.name), weights, 8)?;
+            rows.push(SramRow {
+                task: spec.name.clone(),
+                activation_bytes: act,
+                weight_bytes: weights,
+            });
+        }
+        if arena.used() > self.platform.sram_bytes {
+            return Err(AdmitError::Memory(PlanError::SramOverflow {
+                demanded: arena.used(),
+                available: self.platform.sram_bytes,
+            }));
+        }
+        Ok(rows)
+    }
+
+    /// Runs admission control: SRAM layout + schedulability analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::NoTasks`] on an empty framework, or memory/task
+    /// errors from planning. An admission that *fails the analysis* is
+    /// not an error — inspect [`Admission::schedulable`].
+    pub fn admit(&self) -> Result<Admission, AdmitError> {
+        if self.specs.is_empty() {
+            return Err(AdmitError::NoTasks);
+        }
+        let sram = self.plan_sram()?;
+        let (ts, plans) = self.build()?;
+        let order = self.priority_order(&ts);
+        let ordered = ts.reordered(&order);
+        let mode = if self.options.work_conserving {
+            SchedulerMode::WorkConserving
+        } else {
+            SchedulerMode::Gated
+        };
+        let analysis = match self.options.policy {
+            Policy::Edf => AnalysisOutcome {
+                // The EDF processor-demand test yields a yes/no verdict,
+                // not per-task bounds.
+                schedulable: edf_demand_test(&ordered, &self.platform),
+                response: vec![None; ordered.len()],
+            },
+            Policy::FixedPriority if self.options.dma_aware_analysis => {
+                rta_limited_preemption_with(&ordered, &self.platform, mode)
+            }
+            Policy::FixedPriority => rta_memory_oblivious(&ordered, &self.platform),
+            // Policy is non_exhaustive upstream; treat unknown policies
+            // like fixed priority.
+            _ => rta_limited_preemption_with(&ordered, &self.platform, mode),
+        };
+        let occupancy_ppm = occupancy_utilization_ppm(&ordered, &self.platform);
+        Ok(Admission {
+            order,
+            names: ordered.tasks().iter().map(|t| t.name.clone()).collect(),
+            deadlines: ordered.tasks().iter().map(|t| t.deadline).collect(),
+            policy: self.options.policy,
+            analysis,
+            sram,
+            occupancy_ppm,
+            plans,
+        })
+    }
+
+    /// Simulates the task set for `horizon_us` microseconds at
+    /// worst-case execution times.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RtMdm::admit`].
+    pub fn simulate(&self, horizon_us: u64) -> Result<RunReport, AdmitError> {
+        self.simulate_with(horizon_us, 1_000_000, 0)
+    }
+
+    /// Simulates with execution-time variation: each job draws a scale
+    /// uniformly from `[exec_scale_min_ppm, 1e6]` using `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RtMdm::admit`].
+    pub fn simulate_with(
+        &self,
+        horizon_us: u64,
+        exec_scale_min_ppm: u64,
+        seed: u64,
+    ) -> Result<RunReport, AdmitError> {
+        if self.specs.is_empty() {
+            return Err(AdmitError::NoTasks);
+        }
+        let (ts, _) = self.build()?;
+        let order = self.priority_order(&ts);
+        let ordered = ts.reordered(&order);
+        let config = SimConfig {
+            horizon: self.platform.cpu.cycles_from_micros(horizon_us),
+            policy: self.options.policy,
+            exec_scale_min_ppm,
+            seed,
+            work_conserving: self.options.work_conserving,
+        };
+        let result = simulate(&ordered, &self.platform, &config);
+        Ok(RunReport {
+            names: ordered.tasks().iter().map(|t| t.name.clone()).collect(),
+            cpu: self.platform.cpu,
+            result,
+        })
+    }
+}
+
+/// One SRAM-plan row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramRow {
+    /// Task name.
+    pub task: String,
+    /// Activation scratch bytes.
+    pub activation_bytes: u64,
+    /// Weight-buffer bytes (double buffer, or full footprint for
+    /// whole-DNN/resident strategies).
+    pub weight_bytes: u64,
+}
+
+/// Outcome of admission control.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Admission {
+    /// Priority permutation over the insertion order.
+    pub order: Vec<usize>,
+    /// Task names in priority order.
+    pub names: Vec<String>,
+    /// Relative deadlines in priority order.
+    pub deadlines: Vec<Cycles>,
+    /// Policy the admission was computed for.
+    pub policy: Policy,
+    /// The schedulability analysis outcome (priority order).
+    pub analysis: AnalysisOutcome,
+    /// SRAM plan rows (insertion order).
+    pub sram: Vec<SramRow>,
+    /// Occupancy utilization in ppm.
+    pub occupancy_ppm: u64,
+    /// Per-task segmentation plans (insertion order).
+    pub plans: Vec<ModelSegmentation>,
+}
+
+impl Admission {
+    /// Whether the task set passed both memory planning and the timing
+    /// analysis.
+    pub fn schedulable(&self) -> bool {
+        self.analysis.schedulable
+    }
+
+    /// Total SRAM the plan consumes (activations + weight buffers +
+    /// runtime reserve).
+    pub fn sram_total(&self) -> u64 {
+        rtmdm_xmem::SramLayout::RUNTIME_RESERVE
+            + self
+                .sram
+                .iter()
+                .map(|r| r.activation_bytes + r.weight_bytes)
+                .sum::<u64>()
+    }
+
+    /// Renders the admission report as an ASCII table.
+    pub fn to_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(p, name)| {
+                vec![
+                    p.to_string(),
+                    name.clone(),
+                    self.deadlines[p].to_string(),
+                    match (self.policy, self.analysis.response_of(p)) {
+                        (_, Some(r)) => r.to_string(),
+                        (Policy::Edf, None) => "n/a (edf)".to_owned(),
+                        (_, None) => "diverged".to_owned(),
+                    },
+                    match (self.policy, self.analysis.response_of(p)) {
+                        (_, Some(r)) if r <= self.deadlines[p] => "yes".to_owned(),
+                        (Policy::Edf, None) if self.analysis.schedulable => "yes".to_owned(),
+                        _ => "NO".to_owned(),
+                    },
+                ]
+            })
+            .collect();
+        report::table(&["prio", "task", "deadline", "wcrt-bound", "meets"], &rows)
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Task names in priority order (aligned with stats).
+    pub names: Vec<String>,
+    /// Clock for time conversions.
+    pub cpu: rtmdm_mcusim::Frequency,
+    /// Raw simulation result.
+    pub result: SimResult,
+}
+
+impl RunReport {
+    /// Total deadline misses across tasks.
+    pub fn deadline_misses(&self) -> u64 {
+        self.result.total_misses()
+    }
+
+    /// The largest observed response of a task, by name.
+    pub fn max_response_of(&self, name: &str) -> Option<Cycles> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(self.result.max_response_of(idx))
+    }
+
+    /// Energy accounting of the run under an [`EnergyModel`]. The
+    /// report is trace-based: CPU-active cycles from segment events,
+    /// staged bytes from fetch events (strategies that busy-wait their
+    /// staging show it as CPU-active energy instead).
+    pub fn energy(&self, model: &EnergyModel) -> EnergyReport {
+        model.account(&self.result.trace, self.result.horizon)
+    }
+
+    /// Renders per-task statistics as an ASCII table.
+    pub fn to_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .names
+            .iter()
+            .zip(&self.result.stats)
+            .map(|(name, s)| {
+                vec![
+                    name.clone(),
+                    s.releases.to_string(),
+                    s.completions.to_string(),
+                    s.misses.to_string(),
+                    report::cycles_as_ms(s.max_response, self.cpu),
+                    s.preemptions.to_string(),
+                ]
+            })
+            .collect();
+        report::table(
+            &["task", "released", "completed", "misses", "max-response", "preempted"],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_dnn::zoo;
+
+    fn fw() -> RtMdm {
+        RtMdm::new(PlatformConfig::stm32f746_qspi()).expect("platform")
+    }
+
+    #[test]
+    fn quickstart_flow_admits_and_runs_clean() {
+        let mut f = fw();
+        f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("add");
+        let admission = f.admit().expect("admit");
+        assert!(admission.schedulable(), "{}", admission.to_table());
+        let run = f.simulate(1_000_000).expect("simulate");
+        assert_eq!(run.deadline_misses(), 0);
+        assert!(run.max_response_of("kws").is_some());
+        // The analytical bound dominates the observed maximum.
+        let bound = admission.analysis.response_of(0).expect("bound");
+        assert!(bound >= run.max_response_of("kws").expect("observed"));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut f = fw();
+        f.add_task(TaskSpec::new("a", zoo::micro_mlp(), 1_000, 1_000))
+            .expect("add");
+        let err = f
+            .add_task(TaskSpec::new("a", zoo::micro_mlp(), 1_000, 1_000))
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn undersized_buffer_fails_at_add_time() {
+        let mut f = fw();
+        let err = f
+            .add_task(
+                TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000)
+                    .with_buffer_bytes(4 * 1024),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::Memory(PlanError::LayerTooLarge { .. })));
+    }
+
+    #[test]
+    fn bad_timing_fails_at_add_time() {
+        let mut f = fw();
+        let err = f
+            .add_task(TaskSpec::new("a", zoo::micro_mlp(), 1_000, 2_000))
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::Task(_)));
+    }
+
+    #[test]
+    fn empty_framework_cannot_admit_or_simulate() {
+        let f = fw();
+        assert!(matches!(f.admit(), Err(AdmitError::NoTasks)));
+        assert!(matches!(f.simulate(1000), Err(AdmitError::NoTasks)));
+    }
+
+    #[test]
+    fn sram_overflow_is_reported() {
+        let platform = PlatformConfig::stm32f746_qspi().with_sram_bytes(48 * 1024);
+        let mut f = RtMdm::new(platform).expect("platform");
+        f.add_task(
+            TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000)
+                .with_strategy(Strategy::AllInSram),
+        )
+        .expect("add");
+        let err = f.admit().unwrap_err();
+        assert!(matches!(err, AdmitError::Memory(_)), "{err}");
+    }
+
+    #[test]
+    fn deadline_monotonic_ordering_is_applied() {
+        let mut f = fw();
+        f.add_task(TaskSpec::new("slow", zoo::lenet5(), 500_000, 500_000))
+            .expect("add");
+        f.add_task(TaskSpec::new("fast", zoo::micro_mlp(), 10_000, 10_000))
+            .expect("add");
+        let admission = f.admit().expect("admit");
+        assert_eq!(admission.names[0], "fast");
+        assert_eq!(admission.order, vec![1, 0]);
+    }
+
+    #[test]
+    fn forced_strategy_overrides_specs() {
+        let options = FrameworkOptions {
+            force_strategy: Some(Strategy::WholeDnn),
+            ..FrameworkOptions::default()
+        };
+        let mut f =
+            RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+        f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("add");
+        let run = f.simulate(500_000).expect("simulate");
+        // Whole-DNN: exactly one segment per job → no preemptions ever.
+        assert_eq!(run.result.stats.iter().map(|s| s.preemptions).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn memory_oblivious_admission_can_be_fooled() {
+        // A fetch-dominated task: staging makes it unschedulable, but
+        // the oblivious analysis happily admits it.
+        // The autoencoder is fetch-dominated on QSPI: ≈268 kB of weights
+        // at 5 cycles/byte is ≈1.4 M cycles of staging versus ≈0.5 M of
+        // compute. A 4 ms period (800 k cycles at 200 MHz) leaves room
+        // for the compute but not for the staging.
+        let platform = PlatformConfig::stm32f746_qspi();
+        let period_us = 4_000;
+        let mk = |aware: bool| {
+            let options = FrameworkOptions {
+                dma_aware_analysis: aware,
+                ..FrameworkOptions::default()
+            };
+            let mut f = RtMdm::with_options(platform.clone(), options).expect("platform");
+            f.add_task(TaskSpec::new("ae", zoo::autoencoder(), period_us, period_us))
+                .expect("add");
+            f.admit().expect("admit")
+        };
+        assert!(!mk(true).schedulable(), "sound analysis must reject");
+        assert!(mk(false).schedulable(), "oblivious analysis admits");
+    }
+
+    #[test]
+    fn activation_budget_triggers_spilling() {
+        // mobilenet's peak feature map is 36 kB; a 32 kB budget forces
+        // spilling, which shows up as extra staged bytes and a smaller
+        // SRAM reservation.
+        let spec_full = TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000);
+        let spec_budget = spec_full.clone().with_activation_budget(32 * 1024);
+        let fetch_of = |spec: TaskSpec| {
+            let mut f = fw();
+            f.add_task(spec).expect("add");
+            let admission = f.admit().expect("admit");
+            (
+                admission.plans[0].total_fetch_bytes(),
+                admission.sram[0].activation_bytes,
+            )
+        };
+        let (fetch_full, act_full) = fetch_of(spec_full);
+        let (fetch_budget, act_budget) = fetch_of(spec_budget);
+        assert!(fetch_budget > fetch_full, "spilling adds staging traffic");
+        assert!(act_budget < act_full, "budget shrinks the reservation");
+        assert_eq!(act_budget, 32 * 1024);
+    }
+
+    #[test]
+    fn spilled_runs_remain_sound() {
+        let mut f = fw();
+        f.add_task(
+            TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000)
+                .with_activation_budget(32 * 1024),
+        )
+        .expect("add");
+        let admission = f.admit().expect("admit");
+        assert!(admission.schedulable(), "{}", admission.to_table());
+        let run = f.simulate(2_000_000).expect("simulate");
+        assert_eq!(run.deadline_misses(), 0);
+        let bound = admission.analysis.response_of(0).expect("bound");
+        assert!(bound >= run.max_response_of("vww").expect("ran"));
+    }
+
+    #[test]
+    fn edf_admission_gives_a_verdict_without_bounds() {
+        let options = FrameworkOptions {
+            policy: rtmdm_sched::sim::Policy::Edf,
+            ..FrameworkOptions::default()
+        };
+        let mut f =
+            RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+        f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("kws");
+        f.add_task(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000))
+            .expect("ic");
+        let admission = f.admit().expect("admit");
+        assert!(admission.schedulable(), "{}", admission.to_table());
+        assert!(admission.analysis.response.iter().all(Option::is_none));
+        assert!(admission.to_table().contains("n/a (edf)"));
+        // EDF admission is honoured by the EDF runtime.
+        let run = f.simulate(2_000_000).expect("simulate");
+        assert_eq!(run.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn tiling_lifts_the_blocking_floor() {
+        // A 10 ms control deadline next to resnet8 is infeasible at
+        // layer granularity (its widest conv computes for ≈15 ms) but
+        // admissible once oversized layers are tiled.
+        let build = |tiling: bool| {
+            let options = FrameworkOptions {
+                tile_oversized_layers: tiling,
+                ..FrameworkOptions::default()
+            };
+            let mut f = RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options)
+                .expect("platform");
+            f.add_task(TaskSpec::new("control", zoo::micro_mlp(), 10_000, 10_000))
+                .expect("control");
+            f.add_task(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000))
+                .expect("ic");
+            f
+        };
+        assert!(!build(false).admit().expect("admit").schedulable());
+        let tiled = build(true);
+        let admission = tiled.admit().expect("admit");
+        assert!(admission.schedulable(), "{}", admission.to_table());
+        let run = tiled.simulate(4_000_000).expect("simulate");
+        assert_eq!(run.deadline_misses(), 0);
+        // Bound dominance still holds with tiled continuation segments.
+        let idx = admission.names.iter().position(|n| n == "control").unwrap();
+        let bound = admission.analysis.response_of(idx).expect("bound");
+        assert!(bound >= run.max_response_of("control").expect("ran"));
+    }
+
+    #[test]
+    fn admission_table_renders() {
+        let mut f = fw();
+        f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("add");
+        let admission = f.admit().expect("admit");
+        let table = admission.to_table();
+        assert!(table.contains("kws"));
+        assert!(table.contains("wcrt-bound"));
+        let run = f.simulate(500_000).expect("simulate");
+        assert!(run.to_table().contains("max-response"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # rtmdm-core — the RT-MDM framework
+//!
+//! The paper's primary contribution as a public API: admission control
+//! and execution of multiple periodic DNN inference tasks on an MCU
+//! whose weights live in external memory.
+//!
+//! A framework instance binds together the four substrates:
+//!
+//! 1. the **platform model** (`rtmdm-mcusim`) — CPU, DMA, bus, SRAM;
+//! 2. the **DNN engine** (`rtmdm-dnn`) — models and their per-layer
+//!    costs;
+//! 3. the **memory planner** (`rtmdm-xmem`) — segmentation, SRAM layout,
+//!    double-buffered prefetch;
+//! 4. the **scheduler** (`rtmdm-sched`) — segment-level limited
+//!    preemption, schedulability analysis, simulation.
+//!
+//! ## Lifecycle
+//!
+//! ```text
+//! RtMdm::new(platform)
+//!   └─ add_task(TaskSpec)…      — segmentation validated eagerly
+//!   └─ admit()                  — SRAM layout + RT-MDM analysis
+//!   └─ simulate(horizon)        — execution on the platform model
+//! ```
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rtmdm_core::{RtMdm, TaskSpec, Strategy};
+//! use rtmdm_dnn::zoo;
+//! use rtmdm_mcusim::PlatformConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut fw = RtMdm::new(PlatformConfig::stm32f746_qspi())?;
+//! fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))?;
+//! fw.add_task(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000))?;
+//! let admission = fw.admit()?;
+//! println!("{}", admission.to_table());
+//! if admission.schedulable() {
+//!     let run = fw.simulate(4_000_000)?;
+//!     assert_eq!(run.deadline_misses(), 0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advisor;
+mod error;
+mod framework;
+pub mod report;
+mod spec;
+
+pub use advisor::OptimizeOutcome;
+pub use error::AdmitError;
+pub use framework::{Admission, FrameworkOptions, PriorityAssignment, RtMdm, RunReport, SramRow};
+pub use spec::{Strategy, TaskSpec};

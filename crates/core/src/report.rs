@@ -1,0 +1,101 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders an aligned ASCII table. The first row width is taken from
+/// `headers`; every row must have the same number of columns.
+///
+/// # Panics
+///
+/// Panics if a row's column count differs from the header's.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_core::report::table;
+///
+/// let t = table(
+///     &["task", "misses"],
+///     &[vec!["kws".into(), "0".into()], vec!["vww".into(), "2".into()]],
+/// );
+/// assert!(t.contains("kws"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row column count mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("-{}-", "-".repeat(*w)))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats parts-per-million as a percentage with two decimals.
+pub fn ppm_as_pct(ppm: u64) -> String {
+    format!("{}.{:02}%", ppm / 10_000, (ppm % 10_000) / 100)
+}
+
+/// Formats cycles as milliseconds against a clock frequency.
+pub fn cycles_as_ms(cycles: rtmdm_mcusim::Cycles, cpu: rtmdm_mcusim::Frequency) -> String {
+    let us = cpu.micros_from_cycles(cycles);
+    format!("{}.{:03} ms", us / 1000, us % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_mcusim::{Cycles, Frequency};
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "longheader"],
+            &[vec!["xxxxxx".into(), "1".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ppm_as_pct(1_000_000), "100.00%");
+        assert_eq!(ppm_as_pct(123_456), "12.34%");
+        assert_eq!(
+            cycles_as_ms(Cycles::new(200_000), Frequency::mhz(200)),
+            "1.000 ms"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `rtmdm` CLI binary.
+
+use std::process::Command;
+
+fn rtmdm(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rtmdm"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn admit_schedulable_mix_exits_zero() {
+    let out = rtmdm(&[
+        "admit",
+        "--platform",
+        "stm32f746-qspi",
+        "--task",
+        "kws=ds-cnn@100",
+        "--task",
+        "ic=resnet8@400",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("SCHEDULABLE"));
+    assert!(stdout.contains("kws"));
+}
+
+#[test]
+fn admit_infeasible_mix_exits_two() {
+    let out = rtmdm(&["admit", "--task", "ic=resnet8@10"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("NOT SCHEDULABLE"));
+}
+
+#[test]
+fn simulate_reports_misses() {
+    let out = rtmdm(&[
+        "simulate",
+        "--task",
+        "kws=ds-cnn@100",
+        "--seconds",
+        "1",
+        "--jitter",
+        "25",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("misses: 0"));
+}
+
+#[test]
+fn optimize_prefers_resident_for_tiny_models() {
+    let out = rtmdm(&[
+        "optimize",
+        "--task",
+        "control=micro-mlp@20",
+        "--task",
+        "kws=ds-cnn@100",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("all-in-sram"), "{stdout}");
+    assert!(stdout.contains("headroom"));
+}
+
+#[test]
+fn listing_subcommands_work() {
+    let p = rtmdm(&["platforms"]);
+    assert!(p.status.success());
+    assert!(String::from_utf8_lossy(&p.stdout).contains("stm32f746-qspi"));
+    let m = rtmdm(&["models"]);
+    assert!(m.status.success());
+    assert!(String::from_utf8_lossy(&m.stdout).contains("mobilenet-v1-025"));
+}
+
+#[test]
+fn bad_usage_exits_one() {
+    assert_eq!(rtmdm(&[]).status.code(), Some(1));
+    assert_eq!(rtmdm(&["frobnicate"]).status.code(), Some(1));
+    assert_eq!(
+        rtmdm(&["admit", "--task", "not-a-task-spec"]).status.code(),
+        Some(1)
+    );
+    // Unknown model name.
+    assert_eq!(
+        rtmdm(&["admit", "--task", "x=no-such-model@100"]).status.code(),
+        Some(1)
+    );
+}
+
+#[test]
+fn strategy_suffix_is_honoured() {
+    let out = rtmdm(&[
+        "admit",
+        "--task",
+        "ic=resnet8@400:whole-dnn",
+        "--task",
+        "control=micro-mlp@25",
+    ]);
+    // Whole-DNN staging of resnet8 next to a 25 ms control task is
+    // rejected on timing (blocking).
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stdout));
+}

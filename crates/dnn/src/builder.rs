@@ -1,0 +1,357 @@
+//! Fluent construction of [`Model`] graphs.
+
+use crate::graph::{Model, Node, NodeId, NodeInput};
+use crate::layer::{Layer, LayerKind, Padding};
+use crate::tensor::Shape;
+
+/// Builds a [`Model`] layer by layer, tracking shapes as it goes.
+///
+/// The builder panics (rather than returning errors) on shape mismatches:
+/// model topology is programmer-authored, so a mismatch is a bug at the
+/// construction site, and the panic message names the offending layer.
+///
+/// Residual connections use [`checkpoint`](ModelBuilder::checkpoint) /
+/// [`add_from_checkpoint`](ModelBuilder::add_from_checkpoint):
+///
+/// ```rust
+/// use rtmdm_dnn::{ModelBuilder, Padding, Shape};
+///
+/// let block = ModelBuilder::new("block", Shape::new(8, 8, 16))
+///     .checkpoint()
+///     .conv2d(16, (3, 3), (1, 1), Padding::Same, true)
+///     .conv2d(16, (3, 3), (1, 1), Padding::Same, false)
+///     .add_from_checkpoint(true)
+///     .build();
+/// assert_eq!(block.output_shape(), Shape::new(8, 8, 16));
+/// ```
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    input_shape: Shape,
+    nodes: Vec<Node>,
+    cursor: NodeInput,
+    cursor_shape: Shape,
+    checkpoints: Vec<(NodeInput, Shape)>,
+}
+
+impl ModelBuilder {
+    /// Starts a model with the given name and input shape.
+    pub fn new(name: impl Into<String>, input_shape: Shape) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            input_shape,
+            nodes: Vec::new(),
+            cursor: NodeInput::ModelInput,
+            cursor_shape: input_shape,
+            checkpoints: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, kind: LayerKind, inputs: Vec<NodeInput>, in_shape: Shape) {
+        let idx = self.nodes.len();
+        let out_shape = kind.out_shape(in_shape).unwrap_or_else(|| {
+            panic!(
+                "{}: layer {idx} ({}) cannot consume shape {in_shape}",
+                self.name,
+                kind.mnemonic()
+            )
+        });
+        // Seed derived from model name and layer index keeps synthetic
+        // weights stable across runs and distinct across layers.
+        let seed = self
+            .name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+            })
+            .wrapping_add(idx as u64);
+        let layer = Layer::with_synthetic_weights(
+            format!("{}{}", kind.mnemonic(), idx),
+            kind,
+            seed,
+        );
+        self.nodes.push(Node {
+            id: NodeId(idx),
+            layer,
+            inputs,
+            out_shape,
+        });
+        self.cursor = NodeInput::Node(NodeId(idx));
+        self.cursor_shape = out_shape;
+    }
+
+    fn chain(mut self, kind: LayerKind) -> Self {
+        let (cursor, shape) = (self.cursor, self.cursor_shape);
+        self.push(kind, vec![cursor], shape);
+        self
+    }
+
+    /// Appends a standard convolution.
+    pub fn conv2d(
+        self,
+        out_c: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: Padding,
+        relu: bool,
+    ) -> Self {
+        let in_c = self.cursor_shape.c;
+        self.chain(LayerKind::Conv2d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            padding,
+            relu,
+        })
+    }
+
+    /// Appends a depthwise convolution (channel multiplier 1).
+    pub fn depthwise(
+        self,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: Padding,
+        relu: bool,
+    ) -> Self {
+        let channels = self.cursor_shape.c;
+        self.chain(LayerKind::DepthwiseConv2d {
+            channels,
+            kernel,
+            stride,
+            padding,
+            relu,
+        })
+    }
+
+    /// Appends a depthwise + pointwise (1×1) pair — the MobileNet
+    /// separable-convolution building block.
+    pub fn separable(
+        self,
+        out_c: usize,
+        stride: (usize, usize),
+        relu: bool,
+    ) -> Self {
+        self.depthwise((3, 3), stride, Padding::Same, relu)
+            .conv2d(out_c, (1, 1), (1, 1), Padding::Same, relu)
+    }
+
+    /// Appends a fully-connected layer (input is implicitly flattened).
+    pub fn dense(self, out_features: usize, relu: bool) -> Self {
+        let in_features = self.cursor_shape.len();
+        self.chain(LayerKind::Dense {
+            in_features,
+            out_features,
+            relu,
+        })
+    }
+
+    /// Appends average pooling (valid padding).
+    pub fn avg_pool(self, kernel: (usize, usize), stride: (usize, usize)) -> Self {
+        self.chain(LayerKind::AvgPool2d { kernel, stride })
+    }
+
+    /// Appends max pooling (valid padding).
+    pub fn max_pool(self, kernel: (usize, usize), stride: (usize, usize)) -> Self {
+        self.chain(LayerKind::MaxPool2d { kernel, stride })
+    }
+
+    /// Appends global average pooling.
+    pub fn global_avg_pool(self) -> Self {
+        self.chain(LayerKind::GlobalAvgPool)
+    }
+
+    /// Appends an explicit flatten (dense also flattens implicitly).
+    pub fn flatten(self) -> Self {
+        self.chain(LayerKind::Flatten)
+    }
+
+    /// Appends a softmax over the current (flat) activations.
+    pub fn softmax(self) -> Self {
+        self.chain(LayerKind::Softmax)
+    }
+
+    /// Saves the current output as the source of a future residual add.
+    /// Checkpoints form a stack; each
+    /// [`add_from_checkpoint`](Self::add_from_checkpoint) pops one.
+    pub fn checkpoint(mut self) -> Self {
+        self.checkpoints.push((self.cursor, self.cursor_shape));
+        self
+    }
+
+    /// Appends an element-wise residual add of the current output and the
+    /// most recent checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint is pending or the shapes disagree.
+    pub fn add_from_checkpoint(mut self, relu: bool) -> Self {
+        let (skip, skip_shape) = self
+            .checkpoints
+            .pop()
+            .unwrap_or_else(|| panic!("{}: add_from_checkpoint without checkpoint", self.name));
+        assert_eq!(
+            skip_shape, self.cursor_shape,
+            "{}: residual shapes disagree ({} vs {})",
+            self.name, skip_shape, self.cursor_shape
+        );
+        let (cursor, shape) = (self.cursor, self.cursor_shape);
+        self.push(LayerKind::Add { relu }, vec![cursor, skip], shape);
+        self
+    }
+
+    /// Appends a residual add where the skip path first passes through a
+    /// 1×1 projection convolution — the ResNet downsampling block. Pops
+    /// the most recent checkpoint, projects it to the current shape with
+    /// a `1×1` convolution of the given stride, and adds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint is pending or the projected shape does not
+    /// match the current output shape.
+    pub fn add_with_projection(mut self, stride: (usize, usize), relu: bool) -> Self {
+        let (skip, skip_shape) = self
+            .checkpoints
+            .pop()
+            .unwrap_or_else(|| panic!("{}: add_with_projection without checkpoint", self.name));
+        let main = self.cursor;
+        let main_shape = self.cursor_shape;
+        let kind = LayerKind::Conv2d {
+            in_c: skip_shape.c,
+            out_c: main_shape.c,
+            kernel: (1, 1),
+            stride,
+            padding: Padding::Same,
+            relu: false,
+        };
+        self.push(kind, vec![skip], skip_shape);
+        let proj = self.cursor;
+        assert_eq!(
+            self.cursor_shape, main_shape,
+            "{}: projection produces {} but main path is {}",
+            self.name, self.cursor_shape, main_shape
+        );
+        self.push(LayerKind::Add { relu }, vec![main, proj], main_shape);
+        self
+    }
+
+    /// Current activation shape (useful when composing helpers).
+    pub fn current_shape(&self) -> Shape {
+        self.cursor_shape
+    }
+
+    /// Finalises the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a checkpoint was taken but never consumed — almost
+    /// certainly a topology bug.
+    pub fn build(self) -> Model {
+        assert!(
+            self.checkpoints.is_empty(),
+            "{}: {} unconsumed checkpoint(s)",
+            self.name,
+            self.checkpoints.len()
+        );
+        Model::from_parts(self.name, self.input_shape, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_chain_tracks_shapes() {
+        let m = ModelBuilder::new("seq", Shape::new(28, 28, 1))
+            .conv2d(6, (5, 5), (1, 1), Padding::Valid, true)
+            .max_pool((2, 2), (2, 2))
+            .conv2d(16, (5, 5), (1, 1), Padding::Valid, true)
+            .max_pool((2, 2), (2, 2))
+            .dense(10, false)
+            .build();
+        let shapes: Vec<Shape> = m.nodes().iter().map(|n| n.out_shape).collect();
+        assert_eq!(shapes[0], Shape::new(24, 24, 6));
+        assert_eq!(shapes[1], Shape::new(12, 12, 6));
+        assert_eq!(shapes[2], Shape::new(8, 8, 16));
+        assert_eq!(shapes[3], Shape::new(4, 4, 16));
+        assert_eq!(shapes[4], Shape::flat(10));
+    }
+
+    #[test]
+    fn separable_is_depthwise_plus_pointwise() {
+        let m = ModelBuilder::new("sep", Shape::new(8, 8, 4))
+            .separable(12, (2, 2), true)
+            .build();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.output_shape(), Shape::new(4, 4, 12));
+        assert_eq!(m.nodes()[0].layer.kind.mnemonic(), "dwconv");
+        assert_eq!(m.nodes()[1].layer.kind.mnemonic(), "conv");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot consume shape")]
+    fn shape_mismatch_panics_with_layer_name() {
+        // 2×2 input cannot take a valid 5×5 convolution.
+        let _ = ModelBuilder::new("bad", Shape::new(2, 2, 1)).conv2d(
+            4,
+            (5, 5),
+            (1, 1),
+            Padding::Valid,
+            false,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "without checkpoint")]
+    fn add_without_checkpoint_panics() {
+        let _ = ModelBuilder::new("bad", Shape::new(4, 4, 2)).add_from_checkpoint(false);
+    }
+
+    #[test]
+    #[should_panic(expected = "unconsumed checkpoint")]
+    fn dangling_checkpoint_panics_at_build() {
+        let _ = ModelBuilder::new("bad", Shape::new(4, 4, 2))
+            .checkpoint()
+            .build();
+    }
+
+    #[test]
+    fn checkpoints_nest_like_a_stack() {
+        let m = ModelBuilder::new("nest", Shape::new(8, 8, 4))
+            .checkpoint() // outer skip
+            .conv2d(4, (3, 3), (1, 1), Padding::Same, true)
+            .checkpoint() // inner skip
+            .conv2d(4, (3, 3), (1, 1), Padding::Same, true)
+            .add_from_checkpoint(true) // consumes inner
+            .add_from_checkpoint(true) // consumes outer
+            .build();
+        assert_eq!(m.output_shape(), Shape::new(8, 8, 4));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn layer_names_are_unique() {
+        let m = ModelBuilder::new("names", Shape::new(8, 8, 2))
+            .conv2d(2, (3, 3), (1, 1), Padding::Same, true)
+            .conv2d(2, (3, 3), (1, 1), Padding::Same, true)
+            .build();
+        let names: Vec<&str> = m.nodes().iter().map(|n| n.layer.name.as_str()).collect();
+        assert_eq!(names, vec!["conv0", "conv1"]);
+    }
+
+    #[test]
+    fn same_topology_same_weights_different_names_differ() {
+        let a = ModelBuilder::new("a", Shape::new(4, 4, 1))
+            .dense(8, false)
+            .build();
+        let a2 = ModelBuilder::new("a", Shape::new(4, 4, 1))
+            .dense(8, false)
+            .build();
+        let b = ModelBuilder::new("b", Shape::new(4, 4, 1))
+            .dense(8, false)
+            .build();
+        assert_eq!(a.nodes()[0].layer.weights, a2.nodes()[0].layer.weights);
+        assert_ne!(a.nodes()[0].layer.weights, b.nodes()[0].layer.weights);
+    }
+}

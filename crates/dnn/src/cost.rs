@@ -1,0 +1,252 @@
+//! Per-layer execution-cost model.
+//!
+//! The scheduler does not execute kernels on the host clock; it consumes
+//! *modelled* CPU cycles. The cost model mirrors the structure of
+//! CMSIS-NN-style deployment kernels: a cycles-per-MAC rate per operator
+//! family (standard convolutions reuse data well, depthwise convolutions
+//! poorly, dense layers are memory-bound), a per-element charge for
+//! weight-less operators, and a fixed per-layer dispatch overhead.
+//! Rates are parts-per-million so all arithmetic stays integral.
+
+use serde::{Deserialize, Serialize};
+
+use rtmdm_mcusim::Cycles;
+
+use crate::graph::Model;
+use crate::layer::LayerKind;
+use crate::tensor::Shape;
+
+/// Cycles-per-operation rates characterising a CPU + kernel library pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Label for reports.
+    pub name: String,
+    /// Cycles per MAC for standard convolutions (ppm).
+    pub conv_cycles_per_mac_ppm: u64,
+    /// Cycles per MAC for depthwise convolutions (ppm) — worse data
+    /// reuse, so higher than `conv`.
+    pub dwconv_cycles_per_mac_ppm: u64,
+    /// Cycles per MAC for dense layers (ppm) — streaming weights, memory
+    /// bound.
+    pub dense_cycles_per_mac_ppm: u64,
+    /// Cycles per visited window element for pooling (ppm).
+    pub pool_cycles_per_elem_ppm: u64,
+    /// Cycles per element for element-wise ops and flatten copies (ppm).
+    pub eltwise_cycles_per_elem_ppm: u64,
+    /// Cycles per element for softmax (exp lookup + divide).
+    pub softmax_cycles_per_elem: u64,
+    /// Fixed dispatch overhead charged to every layer.
+    pub layer_overhead_cycles: u64,
+}
+
+impl CostModel {
+    /// Cortex-M7-class core running CMSIS-NN-like int8 kernels
+    /// (dual-issue, hardware MAC): ≈1.3 cycles/MAC for convolutions.
+    pub fn cmsis_nn_m7() -> Self {
+        CostModel {
+            name: "cmsis-nn-m7".to_owned(),
+            conv_cycles_per_mac_ppm: 1_300_000,
+            dwconv_cycles_per_mac_ppm: 2_400_000,
+            dense_cycles_per_mac_ppm: 1_700_000,
+            pool_cycles_per_elem_ppm: 900_000,
+            eltwise_cycles_per_elem_ppm: 700_000,
+            softmax_cycles_per_elem: 40,
+            layer_overhead_cycles: 1_500,
+        }
+    }
+
+    /// Cortex-M4-class core: single-issue, slower MAC pipeline.
+    pub fn cmsis_nn_m4() -> Self {
+        CostModel {
+            name: "cmsis-nn-m4".to_owned(),
+            conv_cycles_per_mac_ppm: 2_100_000,
+            dwconv_cycles_per_mac_ppm: 3_600_000,
+            dense_cycles_per_mac_ppm: 2_600_000,
+            pool_cycles_per_elem_ppm: 1_400_000,
+            eltwise_cycles_per_elem_ppm: 1_100_000,
+            softmax_cycles_per_elem: 60,
+            layer_overhead_cycles: 2_000,
+        }
+    }
+
+    /// Compute cycles for one layer on the given input shape.
+    ///
+    /// Weight-less operators are charged per element; weighted operators
+    /// per MAC. Every layer pays the fixed dispatch overhead.
+    pub fn layer_cycles(&self, kind: &LayerKind, input: Shape) -> Cycles {
+        let out = kind.out_shape(input);
+        let variable: u64 = match *kind {
+            LayerKind::Conv2d { .. } => {
+                mul_ppm(kind.macs(input), self.conv_cycles_per_mac_ppm)
+            }
+            LayerKind::DepthwiseConv2d { .. } => {
+                mul_ppm(kind.macs(input), self.dwconv_cycles_per_mac_ppm)
+            }
+            LayerKind::Dense { .. } => mul_ppm(kind.macs(input), self.dense_cycles_per_mac_ppm),
+            LayerKind::AvgPool2d { kernel, .. } | LayerKind::MaxPool2d { kernel, .. } => {
+                let visited = out.map_or(0, |o| o.len() as u64) * (kernel.0 * kernel.1) as u64;
+                mul_ppm(visited, self.pool_cycles_per_elem_ppm)
+            }
+            LayerKind::GlobalAvgPool => {
+                mul_ppm(input.len() as u64, self.pool_cycles_per_elem_ppm)
+            }
+            LayerKind::Add { .. } | LayerKind::Flatten => {
+                mul_ppm(input.len() as u64, self.eltwise_cycles_per_elem_ppm)
+            }
+            LayerKind::Softmax => input.len() as u64 * self.softmax_cycles_per_elem,
+        };
+        Cycles::new(self.layer_overhead_cycles + variable)
+    }
+
+    /// Per-layer and aggregate costs of a whole model.
+    pub fn model_cost(&self, model: &Model) -> ModelCost {
+        let mut layers = Vec::with_capacity(model.len());
+        for node in model.nodes() {
+            let input = match node.inputs[0] {
+                crate::graph::NodeInput::ModelInput => model.input_shape(),
+                crate::graph::NodeInput::Node(id) => model.nodes()[id.0].out_shape,
+            };
+            layers.push(LayerCost {
+                name: node.layer.name.clone(),
+                compute: self.layer_cycles(&node.layer.kind, input),
+                weight_bytes: node.layer.weight_bytes(),
+                macs: node.layer.kind.macs(input),
+            });
+        }
+        let total_compute = layers.iter().map(|l| l.compute).sum();
+        let total_weight_bytes = layers.iter().map(|l| l.weight_bytes).sum();
+        let total_macs = layers.iter().map(|l| l.macs).sum();
+        ModelCost {
+            model: model.name().to_owned(),
+            layers,
+            total_compute,
+            total_weight_bytes,
+            total_macs,
+        }
+    }
+}
+
+#[inline]
+fn mul_ppm(count: u64, rate_ppm: u64) -> u64 {
+    let wide = u128::from(count) * u128::from(rate_ppm);
+    u64::try_from(wide.div_ceil(1_000_000)).expect("cost overflow")
+}
+
+/// Cost of a single layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Layer name within its model.
+    pub name: String,
+    /// Modelled CPU cycles (uninflated; bus contention applies on top).
+    pub compute: Cycles,
+    /// Parameter bytes staged from external memory.
+    pub weight_bytes: u64,
+    /// Multiply-accumulate count.
+    pub macs: u64,
+}
+
+/// Aggregate cost of a model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelCost {
+    /// Model name.
+    pub model: String,
+    /// Per-layer breakdown in execution order.
+    pub layers: Vec<LayerCost>,
+    /// Sum of layer compute cycles.
+    pub total_compute: Cycles,
+    /// Sum of layer weight bytes.
+    pub total_weight_bytes: u64,
+    /// Sum of layer MACs.
+    pub total_macs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::layer::Padding;
+
+    #[test]
+    fn conv_cost_scales_with_macs() {
+        let m = CostModel::cmsis_nn_m7();
+        let kind = LayerKind::Conv2d {
+            in_c: 3,
+            out_c: 8,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            relu: true,
+        };
+        let input = Shape::new(16, 16, 3);
+        let macs = kind.macs(input);
+        let cycles = m.layer_cycles(&kind, input);
+        // 1.3 cycles/MAC + overhead, within rounding.
+        let expected = macs * 13 / 10 + m.layer_overhead_cycles;
+        assert!(cycles.get().abs_diff(expected) <= 2, "{cycles} vs {expected}");
+    }
+
+    #[test]
+    fn depthwise_rate_exceeds_standard_conv_rate() {
+        let m = CostModel::cmsis_nn_m7();
+        // Same MAC count: conv with in_c=1,out_c=9 vs depthwise with 9 ch.
+        let input_conv = Shape::new(8, 8, 1);
+        let conv = LayerKind::Conv2d {
+            in_c: 1,
+            out_c: 9,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            relu: false,
+        };
+        let input_dw = Shape::new(8, 8, 9);
+        let dw = LayerKind::DepthwiseConv2d {
+            channels: 9,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            relu: false,
+        };
+        assert_eq!(conv.macs(input_conv), dw.macs(input_dw));
+        assert!(m.layer_cycles(&dw, input_dw) > m.layer_cycles(&conv, input_conv));
+    }
+
+    #[test]
+    fn weightless_layers_cost_per_element() {
+        let m = CostModel::cmsis_nn_m7();
+        let gap = m.layer_cycles(&LayerKind::GlobalAvgPool, Shape::new(10, 10, 4));
+        // 400 elements * 0.9 + 1500 overhead.
+        assert_eq!(gap.get(), 1500 + 360);
+        let sm = m.layer_cycles(&LayerKind::Softmax, Shape::flat(10));
+        assert_eq!(sm.get(), 1500 + 400);
+    }
+
+    #[test]
+    fn m4_is_slower_than_m7_everywhere() {
+        let m7 = CostModel::cmsis_nn_m7();
+        let m4 = CostModel::cmsis_nn_m4();
+        let kind = LayerKind::Dense {
+            in_features: 256,
+            out_features: 64,
+            relu: true,
+        };
+        assert!(m4.layer_cycles(&kind, Shape::flat(256)) > m7.layer_cycles(&kind, Shape::flat(256)));
+    }
+
+    #[test]
+    fn model_cost_aggregates_layers() {
+        let model = ModelBuilder::new("agg", Shape::new(8, 8, 1))
+            .conv2d(4, (3, 3), (1, 1), Padding::Same, true)
+            .global_avg_pool()
+            .dense(2, false)
+            .build();
+        let cost = CostModel::cmsis_nn_m7().model_cost(&model);
+        assert_eq!(cost.layers.len(), 3);
+        assert_eq!(
+            cost.total_compute,
+            cost.layers.iter().map(|l| l.compute).sum()
+        );
+        assert_eq!(cost.total_weight_bytes, model.total_weight_bytes());
+        assert_eq!(cost.total_macs, model.total_macs());
+        assert!(cost.layers.iter().all(|l| l.compute > Cycles::ZERO));
+    }
+}

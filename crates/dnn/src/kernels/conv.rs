@@ -1,0 +1,317 @@
+//! Standard and depthwise 2-D convolution kernels.
+
+use crate::layer::{Layer, LayerKind, Padding};
+use crate::quantize::{derive_requant, requantize};
+use crate::tensor::{Shape, Tensor};
+
+/// Computes a standard 2-D convolution.
+///
+/// Weight layout: `[out_c][kh][kw][in_c]`, bias `[out_c]`.
+/// Padding contributes the input zero point (i.e. real zero).
+///
+/// # Panics
+///
+/// Panics if `layer.kind` is not [`LayerKind::Conv2d`] or the input shape
+/// is incompatible (the graph validates shapes before dispatch).
+pub fn conv2d(input: &Tensor, layer: &Layer) -> Tensor {
+    let LayerKind::Conv2d {
+        in_c,
+        out_c,
+        kernel,
+        stride,
+        padding,
+        relu,
+    } = layer.kind
+    else {
+        panic!("conv2d called with {:?}", layer.kind.mnemonic());
+    };
+    let in_shape = input.shape();
+    let out_shape = layer
+        .kind
+        .out_shape(in_shape)
+        .expect("conv2d input shape mismatch");
+    let (mult, shift) = derive_requant(
+        input.quant().scale,
+        layer.weight_scale,
+        layer.out_quant.scale,
+    );
+    let in_zp = input.quant().zero_point;
+    let out_zp = layer.out_quant.zero_point;
+    let pad_top = padding.total_pad(in_shape.h, kernel.0, stride.0) / 2;
+    let pad_left = padding.total_pad(in_shape.w, kernel.1, stride.1) / 2;
+
+    let mut out = Tensor::zeros(out_shape);
+    out.set_quant(layer.out_quant);
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            for oc in 0..out_c {
+                let mut acc: i32 = layer.bias[oc];
+                for ky in 0..kernel.0 {
+                    let iy = (oy * stride.0 + ky) as isize - pad_top as isize;
+                    if iy < 0 || iy as usize >= in_shape.h {
+                        continue; // zero padding adds (zp - zp) = 0
+                    }
+                    for kx in 0..kernel.1 {
+                        let ix = (ox * stride.1 + kx) as isize - pad_left as isize;
+                        if ix < 0 || ix as usize >= in_shape.w {
+                            continue;
+                        }
+                        let wbase = ((oc * kernel.0 + ky) * kernel.1 + kx) * in_c;
+                        for ic in 0..in_c {
+                            let x = i32::from(input.get(iy as usize, ix as usize, ic)) - in_zp;
+                            let w = i32::from(layer.weights[wbase + ic]);
+                            acc += x * w;
+                        }
+                    }
+                }
+                let mut q = requantize(acc, mult, shift, out_zp);
+                if relu && i32::from(q) < out_zp {
+                    q = out_zp as i8;
+                }
+                out.set(oy, ox, oc, q);
+            }
+        }
+    }
+    out
+}
+
+/// Computes a depthwise 2-D convolution (channel multiplier 1).
+///
+/// Weight layout: `[c][kh][kw]`, bias `[c]`.
+///
+/// # Panics
+///
+/// Panics if `layer.kind` is not [`LayerKind::DepthwiseConv2d`] or the
+/// input shape is incompatible.
+pub fn depthwise_conv2d(input: &Tensor, layer: &Layer) -> Tensor {
+    let LayerKind::DepthwiseConv2d {
+        channels,
+        kernel,
+        stride,
+        padding,
+        relu,
+    } = layer.kind
+    else {
+        panic!("depthwise_conv2d called with {:?}", layer.kind.mnemonic());
+    };
+    let in_shape = input.shape();
+    let out_shape = layer
+        .kind
+        .out_shape(in_shape)
+        .expect("depthwise input shape mismatch");
+    let (mult, shift) = derive_requant(
+        input.quant().scale,
+        layer.weight_scale,
+        layer.out_quant.scale,
+    );
+    let in_zp = input.quant().zero_point;
+    let out_zp = layer.out_quant.zero_point;
+    let pad_top = padding.total_pad(in_shape.h, kernel.0, stride.0) / 2;
+    let pad_left = padding.total_pad(in_shape.w, kernel.1, stride.1) / 2;
+
+    let mut out = Tensor::zeros(out_shape);
+    out.set_quant(layer.out_quant);
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            for ch in 0..channels {
+                let mut acc: i32 = layer.bias[ch];
+                for ky in 0..kernel.0 {
+                    let iy = (oy * stride.0 + ky) as isize - pad_top as isize;
+                    if iy < 0 || iy as usize >= in_shape.h {
+                        continue;
+                    }
+                    for kx in 0..kernel.1 {
+                        let ix = (ox * stride.1 + kx) as isize - pad_left as isize;
+                        if ix < 0 || ix as usize >= in_shape.w {
+                            continue;
+                        }
+                        let x = i32::from(input.get(iy as usize, ix as usize, ch)) - in_zp;
+                        let w =
+                            i32::from(layer.weights[(ch * kernel.0 + ky) * kernel.1 + kx]);
+                        acc += x * w;
+                    }
+                }
+                let mut q = requantize(acc, mult, shift, out_zp);
+                if relu && i32::from(q) < out_zp {
+                    q = out_zp as i8;
+                }
+                out.set(oy, ox, ch, q);
+            }
+        }
+    }
+    out
+}
+
+/// Constructs a conv layer with all-zero weights and the given biases —
+/// test helper shared by this module's tests.
+#[cfg(test)]
+pub(crate) fn conv_layer_with(
+    kind: LayerKind,
+    weights: Vec<i8>,
+    bias: Vec<i32>,
+) -> Layer {
+    use crate::quantize::QuantParams;
+    Layer::with_weights("t", kind, weights, bias, 0.02, QuantParams::symmetric(0.1))
+        .expect("test layer")
+}
+
+#[allow(dead_code)]
+fn _suppress_unused_import_warning(p: Padding, s: Shape) -> usize {
+    p.out_extent(s.h, 1, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::QuantParams;
+
+    /// A 1×1 conv with a single unit-ish weight acts as a scaled identity.
+    #[test]
+    fn one_by_one_conv_identity() {
+        let kind = LayerKind::Conv2d {
+            in_c: 1,
+            out_c: 1,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: Padding::Valid,
+            relu: false,
+        };
+        // weight = 50 (real 1.0 at scale 0.02); in scale 0.1 → multiplier
+        // 0.1*0.02/0.1 = 0.02; acc = x*50; out = x*50*0.02 = x.
+        let layer = conv_layer_with(kind, vec![50], vec![0]);
+        let mut input = Tensor::zeros(Shape::new(2, 2, 1));
+        input.set_quant(QuantParams::symmetric(0.1));
+        input.set(0, 0, 0, 17);
+        input.set(1, 1, 0, -9);
+        let out = conv2d(&input, &layer);
+        assert_eq!(out.get(0, 0, 0), 17);
+        assert_eq!(out.get(1, 1, 0), -9);
+        assert_eq!(out.get(0, 1, 0), 0);
+    }
+
+    #[test]
+    fn zero_weights_yield_bias_only() {
+        let kind = LayerKind::Conv2d {
+            in_c: 2,
+            out_c: 1,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            relu: false,
+        };
+        // bias 500 → 500 * 0.02 = 10.
+        let layer = conv_layer_with(kind, vec![0; 18], vec![500]);
+        let input = Tensor::filled_pattern(Shape::new(4, 4, 2), 3);
+        let mut input = input;
+        input.set_quant(QuantParams::symmetric(0.1));
+        let out = conv2d(&input, &layer);
+        assert!(out.data().iter().all(|&v| v == 10));
+    }
+
+    #[test]
+    fn relu_clamps_negative_outputs() {
+        let kind = LayerKind::Conv2d {
+            in_c: 1,
+            out_c: 1,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: Padding::Valid,
+            relu: true,
+        };
+        let layer = conv_layer_with(kind, vec![50], vec![0]);
+        let mut input = Tensor::zeros(Shape::new(1, 1, 1));
+        input.set_quant(QuantParams::symmetric(0.1));
+        input.set(0, 0, 0, -20);
+        let out = conv2d(&input, &layer);
+        assert_eq!(out.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn same_padding_preserves_extent_and_pads_with_zero() {
+        let kind = LayerKind::Conv2d {
+            in_c: 1,
+            out_c: 1,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            relu: false,
+        };
+        // Sum filter: all weights 50 (real 1.0).
+        let layer = conv_layer_with(kind, vec![50; 9], vec![0]);
+        let mut input = Tensor::zeros(Shape::new(3, 3, 1));
+        input.set_quant(QuantParams::symmetric(0.1));
+        for y in 0..3 {
+            for x in 0..3 {
+                input.set(y, x, 0, 10);
+            }
+        }
+        let out = conv2d(&input, &layer);
+        assert_eq!(out.shape(), Shape::new(3, 3, 1));
+        // Centre sees 9 contributions of 10, corners only 4.
+        assert_eq!(out.get(1, 1, 0), 90);
+        assert_eq!(out.get(0, 0, 0), 40);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let kind = LayerKind::Conv2d {
+            in_c: 1,
+            out_c: 1,
+            kernel: (1, 1),
+            stride: (2, 2),
+            padding: Padding::Valid,
+            relu: false,
+        };
+        let layer = conv_layer_with(kind, vec![50], vec![0]);
+        let mut input = Tensor::zeros(Shape::new(4, 4, 1));
+        input.set_quant(QuantParams::symmetric(0.1));
+        input.set(0, 0, 0, 1);
+        input.set(0, 2, 0, 2);
+        input.set(2, 0, 0, 3);
+        input.set(2, 2, 0, 4);
+        let out = conv2d(&input, &layer);
+        assert_eq!(out.shape(), Shape::new(2, 2, 1));
+        assert_eq!(
+            (out.get(0, 0, 0), out.get(0, 1, 0), out.get(1, 0, 0), out.get(1, 1, 0)),
+            (1, 2, 3, 4)
+        );
+    }
+
+    #[test]
+    fn depthwise_processes_channels_independently() {
+        let kind = LayerKind::DepthwiseConv2d {
+            channels: 2,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: Padding::Valid,
+            relu: false,
+        };
+        // Channel 0 weight 50 (×1), channel 1 weight 100 (×2).
+        let layer = conv_layer_with(kind, vec![50, 100], vec![0, 0]);
+        let mut input = Tensor::zeros(Shape::new(1, 1, 2));
+        input.set_quant(QuantParams::symmetric(0.1));
+        input.set(0, 0, 0, 5);
+        input.set(0, 0, 1, 5);
+        let out = depthwise_conv2d(&input, &layer);
+        assert_eq!(out.get(0, 0, 0), 5);
+        assert_eq!(out.get(0, 0, 1), 10);
+    }
+
+    #[test]
+    fn nonzero_input_zero_point_is_subtracted() {
+        let kind = LayerKind::Conv2d {
+            in_c: 1,
+            out_c: 1,
+            kernel: (1, 1),
+            stride: (1, 1),
+            padding: Padding::Valid,
+            relu: false,
+        };
+        let layer = conv_layer_with(kind, vec![50], vec![0]);
+        let mut input = Tensor::zeros(Shape::new(1, 1, 1));
+        input.set_quant(QuantParams::new(0.1, 10));
+        input.set(0, 0, 0, 10); // real value 0
+        let out = conv2d(&input, &layer);
+        assert_eq!(out.get(0, 0, 0), 0);
+    }
+}

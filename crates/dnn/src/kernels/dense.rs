@@ -1,0 +1,136 @@
+//! Fully-connected kernel.
+
+use crate::layer::{Layer, LayerKind};
+use crate::quantize::{derive_requant, requantize};
+use crate::tensor::Tensor;
+
+/// Computes a fully-connected layer over flat features.
+///
+/// Weight layout: `[out_features][in_features]`, bias `[out_features]`.
+/// Spatial inputs are consumed in HWC linearisation order (the implicit
+/// flatten every deployment runtime performs).
+///
+/// # Panics
+///
+/// Panics if `layer.kind` is not [`LayerKind::Dense`] or the input length
+/// does not match `in_features`.
+pub fn dense(input: &Tensor, layer: &Layer) -> Tensor {
+    let LayerKind::Dense {
+        in_features,
+        out_features,
+        relu,
+    } = layer.kind
+    else {
+        panic!("dense called with {:?}", layer.kind.mnemonic());
+    };
+    assert_eq!(input.len(), in_features, "dense input length mismatch");
+    let out_shape = layer
+        .kind
+        .out_shape(input.shape())
+        .expect("dense input shape mismatch");
+    let (mult, shift) = derive_requant(
+        input.quant().scale,
+        layer.weight_scale,
+        layer.out_quant.scale,
+    );
+    let in_zp = input.quant().zero_point;
+    let out_zp = layer.out_quant.zero_point;
+
+    let mut out = Tensor::zeros(out_shape);
+    out.set_quant(layer.out_quant);
+    let data = input.data();
+    for o in 0..out_features {
+        let row = &layer.weights[o * in_features..(o + 1) * in_features];
+        let mut acc: i32 = layer.bias[o];
+        for (x, w) in data.iter().zip(row) {
+            acc += (i32::from(*x) - in_zp) * i32::from(*w);
+        }
+        let mut q = requantize(acc, mult, shift, out_zp);
+        if relu && i32::from(q) < out_zp {
+            q = out_zp as i8;
+        }
+        out.data_mut()[o] = q;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::QuantParams;
+    use crate::tensor::Shape;
+
+    fn layer(weights: Vec<i8>, bias: Vec<i32>, in_f: usize, out_f: usize, relu: bool) -> Layer {
+        Layer::with_weights(
+            "fc",
+            LayerKind::Dense {
+                in_features: in_f,
+                out_features: out_f,
+                relu,
+            },
+            weights,
+            bias,
+            0.02,
+            QuantParams::symmetric(0.1),
+        )
+        .expect("test layer")
+    }
+
+    fn input(values: Vec<i8>) -> Tensor {
+        let mut t = Tensor::from_data(
+            Shape::flat(values.len()),
+            values,
+            QuantParams::symmetric(0.1),
+        );
+        t.set_quant(QuantParams::symmetric(0.1));
+        t
+    }
+
+    #[test]
+    fn identity_row_passes_value_through() {
+        // One output, weight 50 on feature 0 only: out = x0.
+        let l = layer(vec![50, 0, 0], vec![0], 3, 1, false);
+        let out = dense(&input(vec![23, 99, -4]), &l);
+        assert_eq!(out.data(), &[23]);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let l = layer(vec![50, 0, 0, 50], vec![0, 0], 2, 2, false);
+        let out = dense(&input(vec![7, -8]), &l);
+        assert_eq!(out.data(), &[7, -8]);
+    }
+
+    #[test]
+    fn bias_and_relu() {
+        let l = layer(vec![0, 0, 0, 0], vec![-500, 500], 2, 2, true);
+        let out = dense(&input(vec![1, 1]), &l);
+        // -500*0.02 = -10 → relu → 0 ; 500*0.02 = 10.
+        assert_eq!(out.data(), &[0, 10]);
+    }
+
+    #[test]
+    fn accumulation_sums_features() {
+        // All weights 50 (real 1.0): out = Σ x.
+        let l = layer(vec![50; 4], vec![0], 4, 1, false);
+        let out = dense(&input(vec![10, 20, 30, -15]), &l);
+        assert_eq!(out.data(), &[45]);
+    }
+
+    #[test]
+    fn spatial_input_is_flattened_in_hwc_order() {
+        let l = layer(vec![50, 0, 0, 0], vec![0], 4, 1, false);
+        let mut t = Tensor::zeros(Shape::new(2, 2, 1));
+        t.set_quant(QuantParams::symmetric(0.1));
+        t.set(0, 0, 0, 33); // first element in HWC order
+        let out = dense(&t, &l);
+        assert_eq!(out.data(), &[33]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_input_length_panics() {
+        let l = layer(vec![0; 4], vec![0], 4, 1, false);
+        let _ = dense(&input(vec![1, 2]), &l);
+    }
+}

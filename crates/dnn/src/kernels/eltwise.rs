@@ -1,0 +1,165 @@
+//! Element-wise kernels: residual addition and softmax.
+
+use crate::layer::{Layer, LayerKind};
+use crate::quantize::QuantParams;
+use crate::tensor::{Shape, Tensor};
+
+/// Element-wise residual addition of two equal-shape, equal-scale tensors.
+///
+/// The zoo assigns one activation scale to every tensor on a residual
+/// path (standard practice for deployment-friendly training), so the add
+/// reduces to integer addition with saturation. The general
+/// different-scale case would need per-input rescaling; this engine
+/// rejects it loudly rather than silently computing the wrong thing.
+///
+/// # Panics
+///
+/// Panics if shapes differ, scales differ by more than 1 ppm, or
+/// `layer.kind` is not [`LayerKind::Add`].
+pub fn add(a: &Tensor, b: &Tensor, layer: &Layer) -> Tensor {
+    let LayerKind::Add { relu } = layer.kind else {
+        panic!("add called with {:?}", layer.kind.mnemonic());
+    };
+    assert_eq!(a.shape(), b.shape(), "add operand shape mismatch");
+    let (sa, sb) = (a.quant().scale, b.quant().scale);
+    assert!(
+        (sa - sb).abs() <= sa.abs() * 1e-6,
+        "add requires equal operand scales ({sa} vs {sb})"
+    );
+    let zp_a = a.quant().zero_point;
+    let zp_b = b.quant().zero_point;
+    let out_quant = layer.out_quant;
+    assert!(
+        (out_quant.scale - sa).abs() <= sa.abs() * 1e-6,
+        "add requires output scale equal to operand scale"
+    );
+    let out_zp = out_quant.zero_point;
+
+    let mut out = Tensor::zeros(a.shape());
+    out.set_quant(out_quant);
+    for (o, (&x, &y)) in out
+        .data_mut()
+        .iter_mut()
+        .zip(a.data().iter().zip(b.data()))
+    {
+        let mut v = (i32::from(x) - zp_a) + (i32::from(y) - zp_b) + out_zp;
+        if relu && v < out_zp {
+            v = out_zp;
+        }
+        *o = v.clamp(-128, 127) as i8;
+    }
+    out
+}
+
+/// Softmax over flat features.
+///
+/// Weight-less and executed once per inference at the network tail, so a
+/// float intermediate is acceptable here (the MCU cost model charges it a
+/// fixed per-element cycle count; numerical behaviour does not affect
+/// timing). Output is quantized to the conventional `1/256` scale with
+/// zero point −128, giving probabilities in `[0, 255/256]`.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let flat = input.flattened();
+    let scale = flat.quant().scale;
+    let zp = flat.quant().zero_point;
+    let max = flat
+        .data()
+        .iter()
+        .map(|&q| i32::from(q))
+        .max()
+        .unwrap_or(0);
+    let exps: Vec<f32> = flat
+        .data()
+        .iter()
+        .map(|&q| (scale * (i32::from(q) - max) as f32).exp())
+        .collect();
+    let _ = zp; // max-subtraction makes the zero point cancel
+    let sum: f32 = exps.iter().sum();
+    let out_quant = QuantParams::new(1.0 / 256.0, -128);
+    let mut out = Tensor::zeros(Shape::flat(flat.len()));
+    out.set_quant(out_quant);
+    for (o, e) in out.data_mut().iter_mut().zip(&exps) {
+        let p = e / sum; // in [0, 1]
+        let q = (p * 256.0).round() as i32 - 128;
+        *o = q.clamp(-128, 127) as i8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_layer(relu: bool) -> Layer {
+        Layer::with_weights(
+            "add",
+            LayerKind::Add { relu },
+            Vec::new(),
+            Vec::new(),
+            0.02,
+            QuantParams::symmetric(0.1),
+        )
+        .expect("test layer")
+    }
+
+    fn t(values: Vec<i8>) -> Tensor {
+        Tensor::from_data(
+            Shape::flat(values.len()),
+            values,
+            QuantParams::symmetric(0.1),
+        )
+    }
+
+    #[test]
+    fn add_is_elementwise_with_saturation() {
+        let out = add(&t(vec![1, 100, -100]), &t(vec![2, 100, -100]), &add_layer(false));
+        assert_eq!(out.data(), &[3, 127, -128]);
+    }
+
+    #[test]
+    fn add_with_relu_clamps_below_zero_point() {
+        let out = add(&t(vec![-5, 5]), &t(vec![-5, 5]), &add_layer(true));
+        assert_eq!(out.data(), &[0, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_shape_mismatch() {
+        let _ = add(&t(vec![1, 2]), &t(vec![1, 2, 3]), &add_layer(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal operand scales")]
+    fn add_rejects_scale_mismatch() {
+        let a = t(vec![1]);
+        let mut b = t(vec![1]);
+        b.set_quant(QuantParams::symmetric(0.2));
+        let _ = add(&a, &b, &add_layer(false));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let out = softmax(&t(vec![10, 20, 30, -10]));
+        // Probabilities: q + 128 over 256.
+        let probs: Vec<i32> = out.data().iter().map(|&q| i32::from(q) + 128).collect();
+        let total: i32 = probs.iter().sum();
+        assert!((total - 256).abs() <= 2, "total={total}");
+        // Largest logit gets the largest probability.
+        let argmax = probs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &p)| p)
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 2);
+    }
+
+    #[test]
+    fn softmax_uniform_logits_give_uniform_probs() {
+        let out = softmax(&t(vec![7, 7, 7, 7]));
+        let probs: Vec<i32> = out.data().iter().map(|&q| i32::from(q) + 128).collect();
+        for p in &probs {
+            assert_eq!(*p, 64);
+        }
+    }
+}

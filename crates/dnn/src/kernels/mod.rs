@@ -1,0 +1,18 @@
+//! Integer-only operator kernels.
+//!
+//! Each kernel is a scalar reference implementation in the style of
+//! CMSIS-NN / TFLite-Micro: `i8` operands, `i32` accumulation, fixed-point
+//! requantization (see [`crate::requantize`]). They are deliberately
+//! straightforward nested loops — clarity and testability over host-side
+//! speed — because on the simulated MCU, *time* comes from the cost model,
+//! not from host execution.
+
+mod conv;
+mod dense;
+mod eltwise;
+mod pool;
+
+pub use conv::{conv2d, depthwise_conv2d};
+pub use dense::dense;
+pub use eltwise::{add, softmax};
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};

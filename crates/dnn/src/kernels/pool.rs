@@ -1,0 +1,167 @@
+//! Pooling kernels.
+
+use crate::layer::{LayerKind, Padding};
+use crate::tensor::{Shape, Tensor};
+
+/// Average pooling (valid padding), rounding to nearest.
+///
+/// Quantization parameters pass through unchanged — averaging is
+/// scale-preserving.
+///
+/// # Panics
+///
+/// Panics if the window does not fit the input at least once.
+pub fn avg_pool2d(input: &Tensor, kernel: (usize, usize), stride: (usize, usize)) -> Tensor {
+    let in_shape = input.shape();
+    let kind = LayerKind::AvgPool2d { kernel, stride };
+    let out_shape = kind.out_shape(in_shape).expect("avg_pool window too large");
+    let mut out = Tensor::zeros(out_shape);
+    out.set_quant(input.quant());
+    let count = (kernel.0 * kernel.1) as i32;
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            for ch in 0..out_shape.c {
+                let mut acc: i32 = 0;
+                for ky in 0..kernel.0 {
+                    for kx in 0..kernel.1 {
+                        acc += i32::from(input.get(oy * stride.0 + ky, ox * stride.1 + kx, ch));
+                    }
+                }
+                // Round to nearest, ties away from zero.
+                let avg = if acc >= 0 {
+                    (acc + count / 2) / count
+                } else {
+                    (acc - count / 2) / count
+                };
+                out.set(oy, ox, ch, avg.clamp(-128, 127) as i8);
+            }
+        }
+    }
+    out
+}
+
+/// Max pooling (valid padding). Quantization passes through.
+///
+/// # Panics
+///
+/// Panics if the window does not fit the input at least once.
+pub fn max_pool2d(input: &Tensor, kernel: (usize, usize), stride: (usize, usize)) -> Tensor {
+    let in_shape = input.shape();
+    let kind = LayerKind::MaxPool2d { kernel, stride };
+    let out_shape = kind.out_shape(in_shape).expect("max_pool window too large");
+    let mut out = Tensor::zeros(out_shape);
+    out.set_quant(input.quant());
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            for ch in 0..out_shape.c {
+                let mut best = i8::MIN;
+                for ky in 0..kernel.0 {
+                    for kx in 0..kernel.1 {
+                        best = best.max(input.get(oy * stride.0 + ky, ox * stride.1 + kx, ch));
+                    }
+                }
+                out.set(oy, ox, ch, best);
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: HWC → 1×1×C, rounding to nearest.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let in_shape = input.shape();
+    let mut out = Tensor::zeros(Shape::new(1, 1, in_shape.c));
+    out.set_quant(input.quant());
+    let count = (in_shape.h * in_shape.w) as i32;
+    for ch in 0..in_shape.c {
+        let mut acc: i32 = 0;
+        for y in 0..in_shape.h {
+            for x in 0..in_shape.w {
+                acc += i32::from(input.get(y, x, ch));
+            }
+        }
+        let avg = if acc >= 0 {
+            (acc + count / 2) / count
+        } else {
+            (acc - count / 2) / count
+        };
+        out.set(0, 0, ch, avg.clamp(-128, 127) as i8);
+    }
+    out
+}
+
+#[allow(dead_code)]
+fn _padding_is_always_valid_for_pools(p: Padding) -> Padding {
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::QuantParams;
+
+    fn grid() -> Tensor {
+        // 4×4×1 with values 0..16.
+        let data: Vec<i8> = (0..16).collect();
+        Tensor::from_data(Shape::new(4, 4, 1), data, QuantParams::symmetric(0.1))
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let out = avg_pool2d(&grid(), (2, 2), (2, 2));
+        assert_eq!(out.shape(), Shape::new(2, 2, 1));
+        // Top-left window {0,1,4,5} → mean 2.5 → 3 (ties away from zero).
+        assert_eq!(out.get(0, 0, 0), 3);
+        // Bottom-right window {10,11,14,15} → 12.5 → 13.
+        assert_eq!(out.get(1, 1, 0), 13);
+    }
+
+    #[test]
+    fn avg_pool_negative_rounding() {
+        let data = vec![-1i8, -2, -3, -4];
+        let t = Tensor::from_data(Shape::new(2, 2, 1), data, QuantParams::default());
+        let out = avg_pool2d(&t, (2, 2), (2, 2));
+        // mean -2.5 → -3 (away from zero).
+        assert_eq!(out.get(0, 0, 0), -3);
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let out = max_pool2d(&grid(), (2, 2), (2, 2));
+        assert_eq!(out.get(0, 0, 0), 5);
+        assert_eq!(out.get(1, 1, 0), 15);
+    }
+
+    #[test]
+    fn global_avg_pool_per_channel() {
+        let mut t = Tensor::zeros(Shape::new(2, 2, 2));
+        for y in 0..2 {
+            for x in 0..2 {
+                t.set(y, x, 0, 8);
+                t.set(y, x, 1, -8);
+            }
+        }
+        let out = global_avg_pool(&t);
+        assert_eq!(out.shape(), Shape::new(1, 1, 2));
+        assert_eq!(out.get(0, 0, 0), 8);
+        assert_eq!(out.get(0, 0, 1), -8);
+    }
+
+    #[test]
+    fn pooling_preserves_quant_params() {
+        let q = QuantParams::new(0.25, 3);
+        let mut t = Tensor::zeros(Shape::new(2, 2, 1));
+        t.set_quant(q);
+        assert_eq!(avg_pool2d(&t, (2, 2), (2, 2)).quant(), q);
+        assert_eq!(max_pool2d(&t, (2, 2), (2, 2)).quant(), q);
+        assert_eq!(global_avg_pool(&t).quant(), q);
+    }
+
+    #[test]
+    fn overlapping_stride_one_pooling() {
+        let out = max_pool2d(&grid(), (2, 2), (1, 1));
+        assert_eq!(out.shape(), Shape::new(3, 3, 1));
+        assert_eq!(out.get(0, 0, 0), 5);
+        assert_eq!(out.get(2, 2, 0), 15);
+    }
+}

@@ -1,0 +1,494 @@
+//! Layer descriptions: operator kind, parameters, and weights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantize::QuantParams;
+use crate::tensor::Shape;
+
+/// Spatial padding policy of convolution and pooling layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// No padding; the window must fit entirely inside the input.
+    Valid,
+    /// Zero padding such that `out = ceil(in / stride)`.
+    Same,
+}
+
+impl Padding {
+    /// Output extent for one spatial dimension.
+    pub fn out_extent(self, input: usize, kernel: usize, stride: usize) -> usize {
+        match self {
+            Padding::Valid => {
+                if input < kernel {
+                    0
+                } else {
+                    (input - kernel) / stride + 1
+                }
+            }
+            Padding::Same => input.div_ceil(stride),
+        }
+    }
+
+    /// Total zero padding added to one spatial dimension (split
+    /// before/after like TFLite: `before = total / 2`).
+    pub fn total_pad(self, input: usize, kernel: usize, stride: usize) -> usize {
+        match self {
+            Padding::Valid => 0,
+            Padding::Same => {
+                let out = self.out_extent(input, kernel, stride);
+                ((out - 1) * stride + kernel).saturating_sub(input)
+            }
+        }
+    }
+}
+
+/// The operator a [`Layer`] computes.
+///
+/// Activation functions are folded into the producing layer (`relu`
+/// flags), matching how deployment runtimes fuse them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// Standard 2-D convolution over HWC input.
+    Conv2d {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels (filter count).
+        out_c: usize,
+        /// Kernel height and width.
+        kernel: (usize, usize),
+        /// Stride in height and width.
+        stride: (usize, usize),
+        /// Padding policy.
+        padding: Padding,
+        /// Fused ReLU on the output.
+        relu: bool,
+    },
+    /// Depthwise 2-D convolution (channel multiplier 1).
+    DepthwiseConv2d {
+        /// Channels (input = output).
+        channels: usize,
+        /// Kernel height and width.
+        kernel: (usize, usize),
+        /// Stride in height and width.
+        stride: (usize, usize),
+        /// Padding policy.
+        padding: Padding,
+        /// Fused ReLU on the output.
+        relu: bool,
+    },
+    /// Fully-connected layer on flat features.
+    Dense {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Fused ReLU on the output.
+        relu: bool,
+    },
+    /// Average pooling.
+    AvgPool2d {
+        /// Window height and width.
+        kernel: (usize, usize),
+        /// Stride in height and width.
+        stride: (usize, usize),
+    },
+    /// Max pooling.
+    MaxPool2d {
+        /// Window height and width.
+        kernel: (usize, usize),
+        /// Stride in height and width.
+        stride: (usize, usize),
+    },
+    /// Global average pooling: HWC → 1×1×C.
+    GlobalAvgPool,
+    /// Element-wise residual addition of two equal-shape inputs.
+    Add {
+        /// Fused ReLU on the sum.
+        relu: bool,
+    },
+    /// Softmax over flat features (produces a quantized distribution).
+    Softmax,
+    /// Reshape HWC activations to flat features.
+    Flatten,
+}
+
+impl LayerKind {
+    /// Whether this operator carries weights that must be staged from
+    /// external memory.
+    pub fn has_weights(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv2d { .. } | LayerKind::DepthwiseConv2d { .. } | LayerKind::Dense { .. }
+        )
+    }
+
+    /// Number of `i8` weight elements.
+    pub fn weight_len(&self) -> usize {
+        match *self {
+            LayerKind::Conv2d {
+                in_c,
+                out_c,
+                kernel,
+                ..
+            } => out_c * kernel.0 * kernel.1 * in_c,
+            LayerKind::DepthwiseConv2d {
+                channels, kernel, ..
+            } => channels * kernel.0 * kernel.1,
+            LayerKind::Dense {
+                in_features,
+                out_features,
+                ..
+            } => in_features * out_features,
+            _ => 0,
+        }
+    }
+
+    /// Number of `i32` bias elements.
+    pub fn bias_len(&self) -> usize {
+        match *self {
+            LayerKind::Conv2d { out_c, .. } => out_c,
+            LayerKind::DepthwiseConv2d { channels, .. } => channels,
+            LayerKind::Dense { out_features, .. } => out_features,
+            _ => 0,
+        }
+    }
+
+    /// Bytes of parameter data (int8 weights + int32 biases) the layer
+    /// needs resident in SRAM to execute.
+    pub fn weight_bytes(&self) -> u64 {
+        (self.weight_len() + 4 * self.bias_len()) as u64
+    }
+
+    /// Output shape for a given input shape, or `None` if the operator
+    /// cannot consume that shape.
+    pub fn out_shape(&self, input: Shape) -> Option<Shape> {
+        match *self {
+            LayerKind::Conv2d {
+                in_c,
+                out_c,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                if input.c != in_c {
+                    return None;
+                }
+                let h = padding.out_extent(input.h, kernel.0, stride.0);
+                let w = padding.out_extent(input.w, kernel.1, stride.1);
+                (h > 0 && w > 0).then_some(Shape::new(h, w, out_c))
+            }
+            LayerKind::DepthwiseConv2d {
+                channels,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                if input.c != channels {
+                    return None;
+                }
+                let h = padding.out_extent(input.h, kernel.0, stride.0);
+                let w = padding.out_extent(input.w, kernel.1, stride.1);
+                (h > 0 && w > 0).then_some(Shape::new(h, w, channels))
+            }
+            LayerKind::Dense {
+                in_features,
+                out_features,
+                ..
+            } => (input.len() == in_features).then_some(Shape::flat(out_features)),
+            LayerKind::AvgPool2d { kernel, stride } | LayerKind::MaxPool2d { kernel, stride } => {
+                let h = Padding::Valid.out_extent(input.h, kernel.0, stride.0);
+                let w = Padding::Valid.out_extent(input.w, kernel.1, stride.1);
+                (h > 0 && w > 0).then_some(Shape::new(h, w, input.c))
+            }
+            LayerKind::GlobalAvgPool => Some(Shape::new(1, 1, input.c)),
+            LayerKind::Add { .. } => Some(input),
+            LayerKind::Softmax => Some(Shape::flat(input.len())),
+            LayerKind::Flatten => Some(Shape::flat(input.len())),
+        }
+    }
+
+    /// Multiply-accumulate count for one inference of this layer on the
+    /// given input shape (0 for weight-less operators; pooling and
+    /// softmax are charged separately by the cost model).
+    pub fn macs(&self, input: Shape) -> u64 {
+        let Some(out) = self.out_shape(input) else {
+            return 0;
+        };
+        match *self {
+            LayerKind::Conv2d {
+                in_c, kernel, ..
+            } => (out.len() * kernel.0 * kernel.1 * in_c) as u64,
+            LayerKind::DepthwiseConv2d { kernel, .. } => {
+                (out.len() * kernel.0 * kernel.1) as u64
+            }
+            LayerKind::Dense {
+                in_features,
+                out_features,
+                ..
+            } => (in_features * out_features) as u64,
+            _ => 0,
+        }
+    }
+
+    /// A short operator mnemonic for tables.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d { .. } => "conv",
+            LayerKind::DepthwiseConv2d { .. } => "dwconv",
+            LayerKind::Dense { .. } => "dense",
+            LayerKind::AvgPool2d { .. } => "avgpool",
+            LayerKind::MaxPool2d { .. } => "maxpool",
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::Add { .. } => "add",
+            LayerKind::Softmax => "softmax",
+            LayerKind::Flatten => "flatten",
+        }
+    }
+}
+
+/// A layer's parameters could not be materialised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildLayerError {
+    /// Supplied weight buffer length does not match the operator.
+    WeightLenMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Supplied element count.
+        got: usize,
+    },
+    /// Supplied bias buffer length does not match the operator.
+    BiasLenMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Supplied element count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for BuildLayerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildLayerError::WeightLenMismatch { expected, got } => {
+                write!(f, "weight buffer has {got} elements, operator needs {expected}")
+            }
+            BuildLayerError::BiasLenMismatch { expected, got } => {
+                write!(f, "bias buffer has {got} elements, operator needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildLayerError {}
+
+/// A concrete layer: operator, weights, and quantization.
+///
+/// Layers are constructed via [`Layer::with_synthetic_weights`] (the zoo
+/// path) or [`Layer::with_weights`] (explicit parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Layer name, unique within its model (used in reports and traces).
+    pub name: String,
+    /// The operator.
+    pub kind: LayerKind,
+    /// Int8 weights (layout documented per kernel).
+    pub weights: Vec<i8>,
+    /// Int32 biases.
+    pub bias: Vec<i32>,
+    /// Weight quantization scale (symmetric).
+    pub weight_scale: f32,
+    /// Output activation quantization.
+    pub out_quant: QuantParams,
+}
+
+impl Layer {
+    /// Creates a layer with deterministic synthetic weights derived from
+    /// a seed (xorshift64*), so zoo models are bit-reproducible without a
+    /// weight file.
+    pub fn with_synthetic_weights(name: impl Into<String>, kind: LayerKind, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let weights = (0..kind.weight_len())
+            .map(|_| ((next() >> 56) as i8).clamp(-127, 127))
+            .collect();
+        let bias = (0..kind.bias_len())
+            .map(|_| ((next() >> 48) as i16 / 8) as i32)
+            .collect();
+        Layer {
+            name: name.into(),
+            kind,
+            weights,
+            bias,
+            weight_scale: 0.02,
+            out_quant: QuantParams::symmetric(0.1),
+        }
+    }
+
+    /// Creates a layer from explicit weights and biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildLayerError`] if buffer lengths do not match the
+    /// operator's parameter counts.
+    pub fn with_weights(
+        name: impl Into<String>,
+        kind: LayerKind,
+        weights: Vec<i8>,
+        bias: Vec<i32>,
+        weight_scale: f32,
+        out_quant: QuantParams,
+    ) -> Result<Self, BuildLayerError> {
+        if weights.len() != kind.weight_len() {
+            return Err(BuildLayerError::WeightLenMismatch {
+                expected: kind.weight_len(),
+                got: weights.len(),
+            });
+        }
+        if bias.len() != kind.bias_len() {
+            return Err(BuildLayerError::BiasLenMismatch {
+                expected: kind.bias_len(),
+                got: bias.len(),
+            });
+        }
+        Ok(Layer {
+            name: name.into(),
+            kind,
+            weights,
+            bias,
+            weight_scale,
+            out_quant,
+        })
+    }
+
+    /// Bytes of parameter data this layer stages from external memory.
+    pub fn weight_bytes(&self) -> u64 {
+        self.kind.weight_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_extents() {
+        assert_eq!(Padding::Valid.out_extent(32, 3, 1), 30);
+        assert_eq!(Padding::Same.out_extent(32, 3, 1), 32);
+        assert_eq!(Padding::Same.out_extent(32, 3, 2), 16);
+        assert_eq!(Padding::Valid.out_extent(2, 3, 1), 0);
+        assert_eq!(Padding::Same.total_pad(32, 3, 1), 2);
+        assert_eq!(Padding::Valid.total_pad(32, 3, 1), 0);
+    }
+
+    #[test]
+    fn conv_shapes_and_macs() {
+        let k = LayerKind::Conv2d {
+            in_c: 3,
+            out_c: 16,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            relu: true,
+        };
+        let input = Shape::new(32, 32, 3);
+        assert_eq!(k.out_shape(input), Some(Shape::new(32, 32, 16)));
+        assert_eq!(k.macs(input), 32 * 32 * 16 * 9 * 3);
+        assert_eq!(k.weight_len(), 16 * 9 * 3);
+        assert_eq!(k.bias_len(), 16);
+        assert_eq!(k.weight_bytes(), (16 * 9 * 3 + 4 * 16) as u64);
+        // Channel mismatch is rejected.
+        assert_eq!(k.out_shape(Shape::new(32, 32, 4)), None);
+    }
+
+    #[test]
+    fn depthwise_shapes() {
+        let k = LayerKind::DepthwiseConv2d {
+            channels: 8,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: Padding::Same,
+            relu: true,
+        };
+        assert_eq!(k.out_shape(Shape::new(10, 10, 8)), Some(Shape::new(5, 5, 8)));
+        assert_eq!(k.macs(Shape::new(10, 10, 8)), 5 * 5 * 8 * 9);
+    }
+
+    #[test]
+    fn dense_consumes_flat_or_spatial() {
+        let k = LayerKind::Dense {
+            in_features: 12,
+            out_features: 4,
+            relu: false,
+        };
+        assert_eq!(k.out_shape(Shape::new(2, 2, 3)), Some(Shape::flat(4)));
+        assert_eq!(k.out_shape(Shape::flat(12)), Some(Shape::flat(4)));
+        assert_eq!(k.out_shape(Shape::flat(13)), None);
+        assert_eq!(k.macs(Shape::flat(12)), 48);
+    }
+
+    #[test]
+    fn pool_gap_add_softmax_shapes() {
+        let input = Shape::new(8, 8, 4);
+        let avg = LayerKind::AvgPool2d {
+            kernel: (2, 2),
+            stride: (2, 2),
+        };
+        assert_eq!(avg.out_shape(input), Some(Shape::new(4, 4, 4)));
+        assert_eq!(LayerKind::GlobalAvgPool.out_shape(input), Some(Shape::new(1, 1, 4)));
+        assert_eq!(LayerKind::Add { relu: false }.out_shape(input), Some(input));
+        assert_eq!(LayerKind::Softmax.out_shape(Shape::flat(10)), Some(Shape::flat(10)));
+        assert_eq!(LayerKind::Flatten.out_shape(input), Some(Shape::flat(256)));
+    }
+
+    #[test]
+    fn synthetic_weights_are_deterministic() {
+        let k = LayerKind::Dense {
+            in_features: 64,
+            out_features: 16,
+            relu: false,
+        };
+        let a = Layer::with_synthetic_weights("fc", k, 42);
+        let b = Layer::with_synthetic_weights("fc", k, 42);
+        let c = Layer::with_synthetic_weights("fc", k, 43);
+        assert_eq!(a.weights, b.weights);
+        assert_ne!(a.weights, c.weights);
+        assert_eq!(a.weights.len(), 1024);
+        assert_eq!(a.bias.len(), 16);
+        assert!(a.weights.iter().all(|&w| w >= -127));
+    }
+
+    #[test]
+    fn with_weights_validates_lengths() {
+        let k = LayerKind::Dense {
+            in_features: 4,
+            out_features: 2,
+            relu: false,
+        };
+        let err = Layer::with_weights("fc", k, vec![0; 7], vec![0; 2], 0.02, QuantParams::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildLayerError::WeightLenMismatch {
+                expected: 8,
+                got: 7
+            }
+        );
+        let err = Layer::with_weights("fc", k, vec![0; 8], vec![0; 3], 0.02, QuantParams::default())
+            .unwrap_err();
+        assert!(matches!(err, BuildLayerError::BiasLenMismatch { .. }));
+    }
+
+    #[test]
+    fn mnemonics_cover_all_kinds() {
+        assert_eq!(LayerKind::GlobalAvgPool.mnemonic(), "gap");
+        assert_eq!(LayerKind::Softmax.mnemonic(), "softmax");
+    }
+}

@@ -1,0 +1,57 @@
+//! # rtmdm-dnn — int8 quantized DNN engine, model zoo, and cost model
+//!
+//! The multi-DNN workloads of the RT-MDM reproduction need actual neural
+//! networks: their layer topology determines weight-block sizes (what the
+//! DMA must stage from external memory) and MAC counts (what the CPU must
+//! compute). This crate provides, from scratch:
+//!
+//! - an **int8 tensor** type with TFLite-style per-tensor quantization
+//!   ([`Tensor`], [`QuantParams`]),
+//! - **layers and kernels**: 2-D convolution, depthwise convolution,
+//!   dense, average/max pooling, global average pooling, residual add,
+//!   softmax — all integer-only with fixed-point requantization,
+//! - a **model graph** ([`Model`]) supporting sequential chains plus
+//!   residual skip connections, built with [`ModelBuilder`],
+//! - a **model zoo** ([`zoo`]) of architecturally faithful TinyML
+//!   workloads (DS-CNN keyword spotting, ResNet-8, MobileNetV1-0.25
+//!   visual wake word, dense autoencoder, LeNet-5, a micro MLP) with
+//!   deterministic synthetic weights,
+//! - a **cost model** ([`CostModel`]) translating layers into CPU cycles
+//!   and weight bytes for the scheduler.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rtmdm_dnn::{zoo, CostModel, Tensor};
+//!
+//! # fn main() -> Result<(), rtmdm_dnn::InferError> {
+//! let model = zoo::ds_cnn();
+//! let input = Tensor::zeros(model.input_shape());
+//! let out = model.infer(&input)?;
+//! assert_eq!(out.len(), 12); // 12 keyword classes
+//!
+//! let cost = CostModel::cmsis_nn_m7();
+//! let total = cost.model_cost(&model);
+//! assert!(total.total_macs > 1_000_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cost;
+mod graph;
+pub mod kernels;
+mod layer;
+mod quantize;
+mod tensor;
+pub mod zoo;
+
+pub use builder::ModelBuilder;
+pub use cost::{CostModel, LayerCost, ModelCost};
+pub use graph::{InferError, Model, Node, NodeId, NodeInput};
+pub use layer::{BuildLayerError, Layer, LayerKind, Padding};
+pub use quantize::{dequantize, quantize_multiplier, quantize_value, requantize, QuantParams};
+pub use tensor::{Shape, Tensor};

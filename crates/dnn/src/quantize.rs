@@ -1,0 +1,220 @@
+//! TFLite-style per-tensor quantization arithmetic.
+//!
+//! Accumulators are `i32`; re-scaling back to `i8` uses the standard
+//! fixed-point scheme: a Q31 multiplier plus a right shift, with
+//! round-to-nearest and saturation. All inference math is integer-only;
+//! floating point appears only when *deriving* multipliers from scales at
+//! model-construction time, exactly as an MCU deployment would do offline.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-tensor quantization parameters: `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Real-value step per quantized unit.
+    pub scale: f32,
+    /// Quantized value representing real zero.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Creates parameters from a scale and zero point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn new(scale: f32, zero_point: i32) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "quantization scale must be finite and positive"
+        );
+        QuantParams { scale, zero_point }
+    }
+
+    /// Symmetric parameters (zero point 0).
+    pub fn symmetric(scale: f32) -> Self {
+        QuantParams::new(scale, 0)
+    }
+}
+
+impl Default for QuantParams {
+    /// `scale = 1.0`, `zero_point = 0`.
+    fn default() -> Self {
+        QuantParams {
+            scale: 1.0,
+            zero_point: 0,
+        }
+    }
+}
+
+/// Quantizes a real value to `i8` under `params`, with saturation.
+pub fn quantize_value(real: f32, params: QuantParams) -> i8 {
+    let q = (real / params.scale).round() as i64 + i64::from(params.zero_point);
+    q.clamp(i64::from(i8::MIN), i64::from(i8::MAX)) as i8
+}
+
+/// Recovers the real value of a quantized element.
+pub fn dequantize(q: i8, params: QuantParams) -> f32 {
+    params.scale * (i32::from(q) - params.zero_point) as f32
+}
+
+/// Decomposes a positive real multiplier `m < 1` (typically
+/// `in_scale * weight_scale / out_scale`) into `(quantized_multiplier,
+/// right_shift)` such that `m ≈ quantized_multiplier * 2^(-31 - right_shift)`.
+///
+/// This is the offline half of TFLite's `QuantizeMultiplierSmallerThanOne`.
+///
+/// # Panics
+///
+/// Panics if `m` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_dnn::{quantize_multiplier, requantize};
+///
+/// let (q, shift) = quantize_multiplier(0.5);
+/// // 1000 * 0.5 = 500
+/// assert_eq!(requantize(1000, q, shift, 0), 127); // saturates to i8
+/// assert_eq!(requantize(100, q, shift, 0), 50);
+/// ```
+pub fn quantize_multiplier(m: f64) -> (i32, i32) {
+    assert!(m > 0.0 && m < 1.0, "multiplier must be in (0, 1), got {m}");
+    let mut shift = 0i32;
+    let mut frac = m;
+    while frac < 0.5 {
+        frac *= 2.0;
+        shift += 1;
+    }
+    let q = (frac * f64::from(1u32 << 31)).round() as i64;
+    let q = if q == 1i64 << 31 {
+        // Rounding overflow: halve and reduce shift.
+        shift -= 1;
+        1i64 << 30
+    } else {
+        q
+    };
+    (q as i32, shift)
+}
+
+/// Applies a fixed-point multiplier to an `i32` accumulator and saturates
+/// to `i8`, adding the output zero point: the integer-only requantization
+/// step executed after every MAC loop.
+///
+/// `acc * q * 2^-31` is computed with round-to-nearest (ties away from
+/// zero), then shifted right by `right_shift` with rounding, matching the
+/// reference TFLite kernels closely enough for golden tests.
+#[inline]
+pub fn requantize(acc: i32, quantized_multiplier: i32, right_shift: i32, zero_point: i32) -> i8 {
+    // Saturating doubling high multiply: (acc * q + 2^30) >> 31.
+    let ab = i64::from(acc) * i64::from(quantized_multiplier);
+    let nudge = if ab >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+    let high = ((ab + nudge) >> 31) as i32;
+    // Rounding right shift.
+    let shifted = if right_shift > 0 {
+        let mask = (1i32 << right_shift) - 1;
+        let remainder = high & mask;
+        let threshold = (mask >> 1) + i32::from(high < 0);
+        (high >> right_shift) + i32::from(remainder > threshold)
+    } else {
+        high
+    };
+    (shifted + zero_point).clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8
+}
+
+/// Derives the requantization pair for a layer from its input, weight,
+/// and output scales.
+///
+/// # Panics
+///
+/// Panics if the effective multiplier falls outside `(0, 1)` — which
+/// indicates an inconsistent scale assignment in the model.
+pub fn derive_requant(in_scale: f32, weight_scale: f32, out_scale: f32) -> (i32, i32) {
+    let m = f64::from(in_scale) * f64::from(weight_scale) / f64::from(out_scale);
+    quantize_multiplier(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_dequantize_round_trip() {
+        let p = QuantParams::new(0.1, 0);
+        assert_eq!(quantize_value(1.25, p), 13); // 12.5 rounds to 13
+        assert!((dequantize(13, p) - 1.3).abs() < 1e-6);
+        // Saturation.
+        assert_eq!(quantize_value(100.0, p), 127);
+        assert_eq!(quantize_value(-100.0, p), -128);
+    }
+
+    #[test]
+    fn zero_point_shifts_quantization() {
+        let p = QuantParams::new(0.5, 10);
+        assert_eq!(quantize_value(0.0, p), 10);
+        assert_eq!(dequantize(10, p), 0.0);
+    }
+
+    #[test]
+    fn multiplier_decomposition_reconstructs_value() {
+        for &m in &[0.9, 0.5, 0.25, 0.1, 0.003, 0.6181] {
+            let (q, shift) = quantize_multiplier(m);
+            let reconstructed = f64::from(q) / f64::from(1u32 << 31) / (1u64 << shift) as f64;
+            assert!(
+                (reconstructed - m).abs() / m < 1e-6,
+                "m={m} reconstructed={reconstructed}"
+            );
+            assert!(q >= 1 << 30, "normalized multiplier uses full precision");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be in")]
+    fn multiplier_rejects_out_of_range() {
+        let _ = quantize_multiplier(1.5);
+    }
+
+    #[test]
+    fn requantize_matches_real_arithmetic() {
+        let (q, shift) = quantize_multiplier(0.05);
+        for &acc in &[0i32, 1, 19, 20, 100, -100, 2540, -2540, 100_000] {
+            let real = (f64::from(acc) * 0.05).round();
+            let expected = real.clamp(-128.0, 127.0) as i8;
+            let got = requantize(acc, q, shift, 0);
+            assert!(
+                (i32::from(got) - i32::from(expected)).abs() <= 1,
+                "acc={acc} got={got} expected={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn requantize_applies_zero_point_and_saturates() {
+        let (q, shift) = quantize_multiplier(0.5);
+        assert_eq!(requantize(100, q, shift, 5), 55);
+        assert_eq!(requantize(1_000_000, q, shift, 0), 127);
+        assert_eq!(requantize(-1_000_000, q, shift, 0), -128);
+    }
+
+    #[test]
+    fn requantize_rounds_to_nearest() {
+        let (q, shift) = quantize_multiplier(0.5);
+        // Ties round away from zero: 1.5 → 2, -1.5 → -2.
+        assert_eq!(requantize(3, q, shift, 0), 2);
+        assert_eq!(requantize(-3, q, shift, 0), -2);
+    }
+
+    #[test]
+    fn derive_requant_composes_scales() {
+        let (q, shift) = derive_requant(0.1, 0.02, 0.1);
+        // effective multiplier 0.02
+        let got = requantize(1000, q, shift, 0); // 1000 * 0.02 = 20
+        assert_eq!(got, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be finite and positive")]
+    fn quant_params_reject_bad_scale() {
+        let _ = QuantParams::new(0.0, 0);
+    }
+}

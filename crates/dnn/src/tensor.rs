@@ -1,0 +1,282 @@
+//! Int8 activation tensors in HWC layout.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantize::QuantParams;
+
+/// Activation-tensor shape in height × width × channels (HWC) order.
+///
+/// Fully-connected activations use `h = w = 1` and put the feature count
+/// in `c`, which lets every layer speak one shape language.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_dnn::Shape;
+///
+/// let s = Shape::new(32, 32, 3);
+/// assert_eq!(s.len(), 3072);
+/// assert_eq!(Shape::flat(640), Shape::new(1, 1, 640));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Height (rows).
+    pub h: usize,
+    /// Width (columns).
+    pub w: usize,
+    /// Channels (innermost dimension).
+    pub c: usize,
+}
+
+impl Shape {
+    /// Creates an HWC shape.
+    pub const fn new(h: usize, w: usize, c: usize) -> Self {
+        Shape { h, w, c }
+    }
+
+    /// A flat (fully-connected) shape with `features` elements.
+    pub const fn flat(features: usize) -> Self {
+        Shape {
+            h: 1,
+            w: 1,
+            c: features,
+        }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Whether the shape holds no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(y, x, ch)` in HWC order.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the coordinates are in bounds.
+    #[inline]
+    pub fn index(&self, y: usize, x: usize, ch: usize) -> usize {
+        debug_assert!(y < self.h && x < self.w && ch < self.c);
+        (y * self.w + x) * self.c + ch
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// A quantized int8 activation tensor.
+///
+/// Data is stored row-major in HWC order. Real value of element `q` is
+/// `scale * (q - zero_point)` per the tensor's [`QuantParams`].
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_dnn::{Shape, Tensor};
+///
+/// let mut t = Tensor::zeros(Shape::new(2, 2, 1));
+/// t.set(1, 1, 0, 42);
+/// assert_eq!(t.get(1, 1, 0), 42);
+/// assert_eq!(t.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<i8>,
+    quant: QuantParams,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor with default quantization
+    /// (`scale = 1.0`, `zero_point = 0`).
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![0; shape.len()],
+            quant: QuantParams::default(),
+        }
+    }
+
+    /// Creates a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_data(shape: Shape, data: Vec<i8>, quant: QuantParams) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "tensor data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data, quant }
+    }
+
+    /// Fills the tensor with a deterministic pseudo-random pattern — handy
+    /// for golden-output tests and benchmarks that need non-trivial input.
+    pub fn filled_pattern(shape: Shape, seed: u64) -> Self {
+        let mut state = seed | 1;
+        let data = (0..shape.len())
+            .map(|_| {
+                // xorshift64*
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as i8
+            })
+            .collect();
+        Tensor {
+            shape,
+            data,
+            quant: QuantParams::default(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// The quantization parameters.
+    pub fn quant(&self) -> QuantParams {
+        self.quant
+    }
+
+    /// Replaces the quantization parameters (data unchanged).
+    pub fn set_quant(&mut self, quant: QuantParams) {
+        self.quant = quant;
+    }
+
+    /// Raw element slice in HWC order.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Mutable raw element slice.
+    pub fn data_mut(&mut self) -> &mut [i8] {
+        &mut self.data
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(y, x, ch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, y: usize, x: usize, ch: usize) -> i8 {
+        self.data[self.shape.index(y, x, ch)]
+    }
+
+    /// Writes the element at `(y, x, ch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, y: usize, x: usize, ch: usize, value: i8) {
+        let idx = self.shape.index(y, x, ch);
+        self.data[idx] = value;
+    }
+
+    /// Reinterprets the tensor as flat features (`1×1×len`), preserving
+    /// data and quantization. Used by `Flatten`.
+    pub fn flattened(&self) -> Tensor {
+        Tensor {
+            shape: Shape::flat(self.data.len()),
+            data: self.data.clone(),
+            quant: self.quant,
+        }
+    }
+
+    /// Index of the maximum element (ties break to the lowest index) —
+    /// the classification result of a logits tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_indexing_is_hwc() {
+        let s = Shape::new(2, 3, 4);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 3), 3);
+        assert_eq!(s.index(0, 1, 0), 4);
+        assert_eq!(s.index(1, 0, 0), 12);
+        assert_eq!(s.index(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn tensor_get_set_round_trip() {
+        let mut t = Tensor::zeros(Shape::new(3, 3, 2));
+        t.set(2, 1, 1, -7);
+        assert_eq!(t.get(2, 1, 1), -7);
+        assert_eq!(t.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_data_rejects_length_mismatch() {
+        let _ = Tensor::from_data(Shape::new(2, 2, 1), vec![0; 3], QuantParams::default());
+    }
+
+    #[test]
+    fn filled_pattern_is_deterministic_and_nontrivial() {
+        let a = Tensor::filled_pattern(Shape::new(4, 4, 2), 7);
+        let b = Tensor::filled_pattern(Shape::new(4, 4, 2), 7);
+        let c = Tensor::filled_pattern(Shape::new(4, 4, 2), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn flatten_preserves_data() {
+        let t = Tensor::filled_pattern(Shape::new(2, 2, 3), 1);
+        let f = t.flattened();
+        assert_eq!(f.shape(), Shape::flat(12));
+        assert_eq!(f.data(), t.data());
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        let t = Tensor::from_data(
+            Shape::flat(4),
+            vec![3, 9, 9, 1],
+            QuantParams::default(),
+        );
+        assert_eq!(t.argmax(), Some(1));
+        let empty = Tensor::zeros(Shape::flat(0));
+        assert_eq!(empty.argmax(), None);
+    }
+
+    #[test]
+    fn display_shape() {
+        assert_eq!(Shape::new(49, 10, 1).to_string(), "49x10x1");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests on the int8 engine: kernel invariants that must hold
+//! for any input tensor, and whole-model construction/inference
+//! round-trips on randomly assembled graphs.
+
+use proptest::prelude::*;
+
+use rtmdm_dnn::kernels;
+use rtmdm_dnn::{
+    CostModel, Layer, LayerKind, ModelBuilder, Padding, QuantParams, Shape, Tensor,
+};
+
+fn tensor(shape: Shape, seed: u64) -> Tensor {
+    let mut t = Tensor::filled_pattern(shape, seed);
+    t.set_quant(QuantParams::symmetric(0.1));
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// All-zero weights make every output element equal to the
+    /// requantized bias, regardless of the input.
+    #[test]
+    fn zero_weight_conv_ignores_input(
+        seed in 0u64..u64::MAX,
+        h in 2usize..8,
+        w in 2usize..8,
+        c in 1usize..4,
+        bias in -2000i32..2000,
+    ) {
+        let kind = LayerKind::Conv2d {
+            in_c: c,
+            out_c: 2,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            relu: false,
+        };
+        let layer = Layer::with_weights(
+            "z",
+            kind,
+            vec![0; kind.weight_len()],
+            vec![bias; 2],
+            0.02,
+            QuantParams::symmetric(0.1),
+        ).expect("layer");
+        let out = kernels::conv2d(&tensor(Shape::new(h, w, c), seed), &layer);
+        let first = out.data()[0];
+        prop_assert!(out.data().iter().all(|&v| v == first));
+    }
+
+    /// ReLU outputs never fall below the output zero point.
+    #[test]
+    fn relu_clamps_everywhere(seed in 0u64..u64::MAX, h in 2usize..6, w in 2usize..6) {
+        let kind = LayerKind::Conv2d {
+            in_c: 2,
+            out_c: 3,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            relu: true,
+        };
+        let layer = Layer::with_synthetic_weights("r", kind, seed);
+        let out = kernels::conv2d(&tensor(Shape::new(h, w, 2), seed), &layer);
+        let zp = layer.out_quant.zero_point;
+        prop_assert!(out.data().iter().all(|&v| i32::from(v) >= zp));
+    }
+
+    /// Max pooling dominates average pooling element-wise (up to the
+    /// average's round-to-nearest).
+    #[test]
+    fn max_pool_dominates_avg_pool(seed in 0u64..u64::MAX, h in 2usize..8, w in 2usize..8) {
+        let h = h & !1; // even extents for a clean 2×2 grid
+        let w = w & !1;
+        prop_assume!(h >= 2 && w >= 2);
+        let x = tensor(Shape::new(h, w, 3), seed);
+        let mx = kernels::max_pool2d(&x, (2, 2), (2, 2));
+        let av = kernels::avg_pool2d(&x, (2, 2), (2, 2));
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            prop_assert!(m >= a, "max {m} < avg {a}");
+        }
+    }
+
+    /// Softmax outputs a (quantized) probability distribution: entries
+    /// in range, total ≈ 1.
+    #[test]
+    fn softmax_is_a_distribution(values in proptest::collection::vec(-128i8..=127, 2..32)) {
+        let n = values.len();
+        let t = Tensor::from_data(Shape::flat(n), values, QuantParams::symmetric(0.1));
+        let out = kernels::softmax(&t);
+        let probs: Vec<i32> = out.data().iter().map(|&q| i32::from(q) + 128).collect();
+        let total: i32 = probs.iter().sum();
+        prop_assert!(probs.iter().all(|&p| (0..=256).contains(&p)));
+        prop_assert!((total - 256).abs() <= n as i32, "total {total}");
+    }
+
+    /// Randomly assembled sequential models build, infer, and cost
+    /// consistently: output shape matches, inference is deterministic,
+    /// per-layer costs are positive and sum to the model cost.
+    #[test]
+    fn random_models_build_and_infer(
+        seed in 0u64..u64::MAX,
+        channels in 1usize..5,
+        blocks in proptest::collection::vec(0u8..4, 1..5),
+        classes in 2usize..8,
+    ) {
+        let mut b = ModelBuilder::new(format!("prop{seed}"), Shape::new(16, 16, channels));
+        for op in blocks {
+            let cur = b.current_shape();
+            b = match op {
+                0 => b.conv2d(cur.c + 1, (3, 3), (1, 1), Padding::Same, true),
+                1 => b.depthwise((3, 3), (1, 1), Padding::Same, true),
+                2 if cur.h >= 2 && cur.w >= 2 => b.max_pool((2, 2), (2, 2)),
+                _ => b.separable(cur.c, (1, 1), true),
+            };
+        }
+        let model = b.global_avg_pool().dense(classes, false).softmax().build();
+        prop_assert_eq!(model.output_shape().len(), classes);
+        let input = tensor(model.input_shape(), seed);
+        let a = model.infer(&input).expect("inference");
+        let b2 = model.infer(&input).expect("inference");
+        prop_assert_eq!(a.data(), b2.data());
+        let cost = CostModel::cmsis_nn_m7().model_cost(&model);
+        prop_assert_eq!(cost.layers.len(), model.len());
+        prop_assert!(cost.layers.iter().all(|l| l.compute.get() > 0));
+        let sum: u64 = cost.layers.iter().map(|l| l.compute.get()).sum();
+        prop_assert_eq!(sum, cost.total_compute.get());
+        prop_assert_eq!(cost.total_weight_bytes, model.total_weight_bytes());
+    }
+
+    /// Quantize→dequantize round trip stays within half a step.
+    #[test]
+    fn quantization_round_trip(real in -10.0f32..10.0, scale_m in 1u32..100) {
+        let scale = scale_m as f32 / 100.0;
+        let p = QuantParams::new(scale, 0);
+        let q = rtmdm_dnn::quantize_value(real, p);
+        let back = rtmdm_dnn::dequantize(q, p);
+        // Saturation makes large values clamp; only check in range.
+        if real.abs() < 120.0 * scale {
+            prop_assert!((back - real).abs() <= scale / 2.0 + 1e-5);
+        }
+    }
+}

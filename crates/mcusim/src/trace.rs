@@ -1,0 +1,493 @@
+//! Execution traces: the ground truth every experiment is computed from.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Cycles;
+
+/// Index of a task within a task set (assigned at admission, dense from 0).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TaskId(pub usize);
+
+/// Index of a job (the `k`-th release of its task, from 0).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct JobId(pub u64);
+
+/// Index of a segment within a task's segmented execution (from 0).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SegmentId(pub usize);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// What happened at one instant of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TraceKind {
+    /// A periodic job arrived and became ready.
+    JobReleased {
+        /// Task that released the job.
+        task: TaskId,
+        /// Job index.
+        job: JobId,
+        /// Absolute deadline of the job.
+        deadline: Cycles,
+    },
+    /// A segment began computing on the CPU.
+    SegmentStarted {
+        /// Owning task.
+        task: TaskId,
+        /// Owning job.
+        job: JobId,
+        /// Segment index.
+        segment: SegmentId,
+    },
+    /// A segment finished its compute phase.
+    SegmentCompleted {
+        /// Owning task.
+        task: TaskId,
+        /// Owning job.
+        job: JobId,
+        /// Segment index.
+        segment: SegmentId,
+    },
+    /// A DMA fetch of a segment's weights started.
+    FetchStarted {
+        /// Owning task.
+        task: TaskId,
+        /// Owning job.
+        job: JobId,
+        /// Segment whose weights are being staged.
+        segment: SegmentId,
+        /// Transfer size in bytes.
+        bytes: u64,
+    },
+    /// A DMA fetch completed.
+    FetchCompleted {
+        /// Owning task.
+        task: TaskId,
+        /// Owning job.
+        job: JobId,
+        /// Segment whose weights were staged.
+        segment: SegmentId,
+    },
+    /// A job retired its last segment.
+    JobCompleted {
+        /// Owning task.
+        task: TaskId,
+        /// Job index.
+        job: JobId,
+        /// Release-to-completion response time.
+        response: Cycles,
+    },
+    /// A job was still unfinished at its absolute deadline.
+    DeadlineMissed {
+        /// Owning task.
+        task: TaskId,
+        /// Job index.
+        job: JobId,
+    },
+    /// A ready higher-priority job took the CPU at a segment boundary.
+    Preempted {
+        /// Task that lost the CPU.
+        task: TaskId,
+        /// Task that took it.
+        by: TaskId,
+    },
+    /// The CPU went idle (no ready segment).
+    CpuIdle,
+}
+
+/// A timestamped [`TraceKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation instant.
+    pub time: Cycles,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// An append-only log of simulation events with query helpers.
+///
+/// The scheduler simulator appends; experiments and tests query. Events
+/// are appended in nondecreasing time order (enforced in debug builds).
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_mcusim::{Cycles, TaskId, JobId, Trace, TraceKind};
+///
+/// let mut trace = Trace::new();
+/// trace.push(Cycles::new(0), TraceKind::JobReleased {
+///     task: TaskId(0), job: JobId(0), deadline: Cycles::new(100),
+/// });
+/// trace.push(Cycles::new(42), TraceKind::JobCompleted {
+///     task: TaskId(0), job: JobId(0), response: Cycles::new(42),
+/// });
+/// assert_eq!(trace.max_response(TaskId(0)), Some(Cycles::new(42)));
+/// assert_eq!(trace.deadline_misses(), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Appends an event at `time`.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `time` precedes the last appended
+    /// event (the simulator must emit monotone timestamps).
+    pub fn push(&mut self, time: Cycles, kind: TraceKind) {
+        debug_assert!(
+            self.events.last().is_none_or(|e| e.time <= time),
+            "trace timestamps must be nondecreasing"
+        );
+        self.events.push(TraceEvent { time, kind });
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Response times of every completed job of `task`, in job order.
+    pub fn response_times(&self, task: TaskId) -> Vec<Cycles> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::JobCompleted {
+                    task: t, response, ..
+                } if t == task => Some(response),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The largest observed response time of `task`, if any job completed.
+    pub fn max_response(&self, task: TaskId) -> Option<Cycles> {
+        self.response_times(task).into_iter().max()
+    }
+
+    /// Total deadline misses across all tasks.
+    pub fn deadline_misses(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::DeadlineMissed { .. }))
+            .count()
+    }
+
+    /// Deadline misses of one task.
+    pub fn deadline_misses_of(&self, task: TaskId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::DeadlineMissed { task: t, .. } if t == task))
+            .count()
+    }
+
+    /// Number of jobs released per task.
+    pub fn releases(&self) -> BTreeMap<TaskId, u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            if let TraceKind::JobReleased { task, .. } = e.kind {
+                *out.entry(task).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of segment-boundary preemptions suffered per task.
+    pub fn preemptions(&self) -> BTreeMap<TaskId, u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            if let TraceKind::Preempted { task, .. } = e.kind {
+                *out.entry(task).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Total cycles the CPU spent executing segments, derived from
+    /// start/complete pairs.
+    pub fn cpu_busy_cycles(&self) -> Cycles {
+        let mut busy = Cycles::ZERO;
+        let mut open: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
+        for e in &self.events {
+            match e.kind {
+                TraceKind::SegmentStarted { task, job, segment } => {
+                    open.insert((task, job, segment), e.time);
+                }
+                TraceKind::SegmentCompleted { task, job, segment } => {
+                    if let Some(start) = open.remove(&(task, job, segment)) {
+                        busy += e.time - start;
+                    }
+                }
+                _ => {}
+            }
+        }
+        busy
+    }
+
+    /// CPU cycles spent executing each task's segments, by task.
+    pub fn cpu_busy_by_task(&self) -> BTreeMap<TaskId, Cycles> {
+        let mut busy: BTreeMap<TaskId, Cycles> = BTreeMap::new();
+        let mut open: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
+        for e in &self.events {
+            match e.kind {
+                TraceKind::SegmentStarted { task, job, segment } => {
+                    open.insert((task, job, segment), e.time);
+                }
+                TraceKind::SegmentCompleted { task, job, segment } => {
+                    if let Some(start) = open.remove(&(task, job, segment)) {
+                        *busy.entry(task).or_insert(Cycles::ZERO) += e.time - start;
+                    }
+                }
+                _ => {}
+            }
+        }
+        busy
+    }
+
+    /// Observed CPU utilization of `task` over `horizon`, in parts per
+    /// million (100 % = 1 000 000).
+    pub fn cpu_utilization_ppm(&self, task: TaskId, horizon: Cycles) -> u64 {
+        if horizon.is_zero() {
+            return 0;
+        }
+        let busy = self
+            .cpu_busy_by_task()
+            .get(&task)
+            .copied()
+            .unwrap_or(Cycles::ZERO);
+        ((u128::from(busy.get()) * 1_000_000) / u128::from(horizon.get())) as u64
+    }
+
+    /// Renders a compact ASCII Gantt chart of segment executions, one row
+    /// per task, `width` columns spanning `[0, horizon]`. Intended for
+    /// debugging and example output, not for parsing.
+    pub fn gantt(&self, horizon: Cycles, width: usize) -> String {
+        assert!(width > 0, "gantt width must be positive");
+        let mut rows: BTreeMap<TaskId, Vec<char>> = BTreeMap::new();
+        let mut open: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
+        let scale = |t: Cycles| -> usize {
+            if horizon.is_zero() {
+                0
+            } else {
+                ((u128::from(t.get()) * width as u128) / u128::from(horizon.get()))
+                    .min(width as u128 - 1) as usize
+            }
+        };
+        for e in &self.events {
+            match e.kind {
+                TraceKind::SegmentStarted { task, job, segment } => {
+                    open.insert((task, job, segment), e.time);
+                }
+                TraceKind::SegmentCompleted { task, job, segment } => {
+                    if let Some(start) = open.remove(&(task, job, segment)) {
+                        let row = rows.entry(task).or_insert_with(|| vec!['.'; width]);
+                        for cell in row
+                            .iter_mut()
+                            .take(scale(e.time) + 1)
+                            .skip(scale(start))
+                        {
+                            *cell = '#';
+                        }
+                    }
+                }
+                TraceKind::JobReleased { task, .. } => {
+                    let row = rows.entry(task).or_insert_with(|| vec!['.'; width]);
+                    let col = scale(e.time);
+                    if row[col] == '.' {
+                        row[col] = '^';
+                    }
+                }
+                TraceKind::DeadlineMissed { task, .. } => {
+                    let row = rows.entry(task).or_insert_with(|| vec!['.'; width]);
+                    row[scale(e.time)] = 'X';
+                }
+                _ => {}
+            }
+        }
+        let mut out = String::new();
+        for (task, row) in rows {
+            let _ = writeln!(out, "{:>4} |{}|", task.to_string(), row.iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        let (t0, j0, s0) = (TaskId(0), JobId(0), SegmentId(0));
+        t.push(
+            cy(0),
+            TraceKind::JobReleased {
+                task: t0,
+                job: j0,
+                deadline: cy(100),
+            },
+        );
+        t.push(
+            cy(5),
+            TraceKind::FetchStarted {
+                task: t0,
+                job: j0,
+                segment: s0,
+                bytes: 1024,
+            },
+        );
+        t.push(
+            cy(15),
+            TraceKind::FetchCompleted {
+                task: t0,
+                job: j0,
+                segment: s0,
+            },
+        );
+        t.push(
+            cy(15),
+            TraceKind::SegmentStarted {
+                task: t0,
+                job: j0,
+                segment: s0,
+            },
+        );
+        t.push(
+            cy(55),
+            TraceKind::SegmentCompleted {
+                task: t0,
+                job: j0,
+                segment: s0,
+            },
+        );
+        t.push(
+            cy(55),
+            TraceKind::JobCompleted {
+                task: t0,
+                job: j0,
+                response: cy(55),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn response_times_and_max() {
+        let t = sample_trace();
+        assert_eq!(t.response_times(TaskId(0)), vec![cy(55)]);
+        assert_eq!(t.max_response(TaskId(0)), Some(cy(55)));
+        assert_eq!(t.max_response(TaskId(1)), None);
+    }
+
+    #[test]
+    fn miss_and_release_counters() {
+        let mut t = sample_trace();
+        assert_eq!(t.deadline_misses(), 0);
+        t.push(
+            cy(100),
+            TraceKind::DeadlineMissed {
+                task: TaskId(0),
+                job: JobId(1),
+            },
+        );
+        assert_eq!(t.deadline_misses(), 1);
+        assert_eq!(t.deadline_misses_of(TaskId(0)), 1);
+        assert_eq!(t.deadline_misses_of(TaskId(1)), 0);
+        assert_eq!(t.releases().get(&TaskId(0)), Some(&1));
+    }
+
+    #[test]
+    fn busy_cycles_from_segment_pairs() {
+        let t = sample_trace();
+        assert_eq!(t.cpu_busy_cycles(), cy(40));
+    }
+
+    #[test]
+    fn per_task_busy_and_utilization() {
+        let t = sample_trace();
+        let busy = t.cpu_busy_by_task();
+        assert_eq!(busy.get(&TaskId(0)), Some(&cy(40)));
+        assert_eq!(t.cpu_utilization_ppm(TaskId(0), cy(100)), 400_000);
+        assert_eq!(t.cpu_utilization_ppm(TaskId(1), cy(100)), 0);
+        assert_eq!(t.cpu_utilization_ppm(TaskId(0), Cycles::ZERO), 0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let t = sample_trace();
+        let g = t.gantt(cy(100), 20);
+        assert!(g.contains("T0"));
+        assert!(g.contains('#'));
+        assert!(g.contains('^'));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "nondecreasing")]
+    fn out_of_order_push_panics_in_debug() {
+        let mut t = Trace::new();
+        t.push(cy(10), TraceKind::CpuIdle);
+        t.push(cy(5), TraceKind::CpuIdle);
+    }
+
+    #[test]
+    fn preemption_counter() {
+        let mut t = Trace::new();
+        t.push(
+            cy(1),
+            TraceKind::Preempted {
+                task: TaskId(2),
+                by: TaskId(0),
+            },
+        );
+        assert_eq!(t.preemptions().get(&TaskId(2)), Some(&1));
+    }
+}

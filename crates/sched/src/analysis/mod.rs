@@ -1,0 +1,28 @@
+//! Schedulability analyses: the offline timing-guarantee half of RT-MDM.
+//!
+//! - [`rta_limited_preemption`] — the RT-MDM fixed-priority analysis
+//!   (segment-level non-preemption + DMA staging + bus contention);
+//! - [`rta_memory_oblivious`] — baseline B4, a classic preemptive RTA
+//!   that ignores memory (unsound for this system, by design);
+//! - [`edf_demand_test`] — processor-demand test for segment-level EDF;
+//! - [`occupancy_utilization_ppm`] / [`rm_utilization_test`] — quick
+//!   utilization screens;
+//! - [`TaskTiming`] — the per-task worst-case quantities all of the
+//!   above are built from.
+
+mod edf;
+mod exact;
+mod rta;
+mod sensitivity;
+mod util;
+mod wcet;
+
+pub use edf::edf_demand_test;
+pub use exact::{hyperperiod, sync_simulation_accepts};
+pub use rta::{
+    rta_limited_preemption, rta_limited_preemption_with, rta_memory_oblivious, AnalysisOutcome,
+    SchedulerMode,
+};
+pub use sensitivity::{critical_scaling_ppm, scaled_taskset};
+pub use util::{occupancy_utilization_ppm, rm_utilization_bound_ppm, rm_utilization_test};
+pub use wcet::TaskTiming;

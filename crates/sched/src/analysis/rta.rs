@@ -1,0 +1,454 @@
+//! Response-time analyses for segment-level fixed-priority scheduling.
+//!
+//! The RT-MDM analysis ([`rta_limited_preemption`]) is a sound,
+//! deliberately conservative response-time analysis for the framework's
+//! execution model:
+//!
+//! - **segment-level non-preemption** — a lower-priority segment in
+//!   flight blocks a newly-ready higher-priority task once per point at
+//!   which that task (re)claims the CPU ([`TaskTiming::resume_points`]);
+//! - **DMA self-suspension** — a task whose next fetch is not hidden by
+//!   its compute yields the CPU and resumes later; its own such gaps are
+//!   inside [`TaskTiming::pipeline_latency`], and as an *interferer* it
+//!   is charged with suspension-induced release jitter `D_j − occ_j`;
+//! - **two-resource interference** — a higher-priority job can steal
+//!   both CPU cycles (`Σe`) and DMA cycles (`ΣF`) from the task under
+//!   analysis; the analysis charges the full occupancy `Σe + ΣF` per
+//!   interfering job, which upper-bounds any interleaving;
+//! - **bus contention** — every `e`/`F` is pre-inflated at the
+//!   worst-case contended rate (see [`TaskTiming::derive`]).
+//!
+//! [`rta_memory_oblivious`] is the cautionary baseline B4: a classic
+//! fully-preemptive RTA on raw compute times that ignores staging,
+//! contention, and blocking entirely. It is *unsound* for this system —
+//! experiment F3 demonstrates task sets it admits missing deadlines in
+//! simulation.
+
+use serde::{Deserialize, Serialize};
+
+use rtmdm_mcusim::{Cycles, PlatformConfig};
+
+use crate::analysis::wcet::TaskTiming;
+use crate::task::TaskSet;
+
+/// Result of a schedulability analysis over a task set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisOutcome {
+    /// Whether every task's bound meets its deadline.
+    pub schedulable: bool,
+    /// Per-task worst-case response-time bound; `None` when the fixed
+    /// point diverged past the divergence cap (definitely unschedulable).
+    pub response: Vec<Option<Cycles>>,
+}
+
+impl AnalysisOutcome {
+    /// The response bound of task `idx`, if it converged.
+    pub fn response_of(&self, idx: usize) -> Option<Cycles> {
+        self.response.get(idx).copied().flatten()
+    }
+}
+
+/// Iteration limit for each task's fixed point.
+const MAX_ITERATIONS: usize = 5_000;
+
+/// The dispatch discipline the analysis models (must match the
+/// simulator's [`SimConfig::work_conserving`](crate::sim::SimConfig)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SchedulerMode {
+    /// Priority-gated (non-work-conserving): while the highest-priority
+    /// active job waits for its DMA, the CPU idles. Lower-priority
+    /// blocking strikes at most once per job, but a higher-priority
+    /// job's *gaps* also steal CPU time, so interference is charged at
+    /// the full pipeline latency.
+    #[default]
+    Gated,
+    /// Work-conserving: any staged segment may run. Interference is only
+    /// the higher-priority occupancy, but every fetching boundary of the
+    /// task under analysis is exposed to one more lower-priority
+    /// non-preemptive segment.
+    WorkConserving,
+}
+
+/// The RT-MDM response-time analysis for segment-level fixed-priority
+/// scheduling with DMA staging, under the default priority-gated
+/// dispatcher. Task index = priority (0 highest).
+///
+/// For each task `i` (priority order), iterates
+///
+/// ```text
+/// R = B_i + P_i + Σ_{j < i} ⌈(R + J_j) / T_j⌉ · occ_j
+/// ```
+///
+/// The bound rests on an attribution argument: every instant of `R` at
+/// which task `i` makes no progress has exactly one cause, and each
+/// cause's total is bounded —
+///
+/// - **own pipeline** `P_i`: `i`'s isolated fetch/compute schedule
+///   (fetch-only instants included — the stage model is
+///   `max(e_k, F_{k+1})`);
+/// - **higher-priority occupancy** `occ_j = Σe_j + ΣF_j`: whether the
+///   CPU runs `j` or the gated CPU idles while the DMA serves `j`, the
+///   instant is `j`'s, and a job of `j` owns at most `occ_j` instants
+///   (`J_j = D_j − occ_j` is its suspension-induced release jitter);
+/// - **lower-priority segment blocking** `B_i`: gated — one segment in
+///   flight at arrival, `max_lp(e)`; work-conserving — one per resume
+///   point.
+///
+/// Lower-priority **DMA** traffic needs no term at all: the DMA channel
+/// is priority-preemptive (descriptor-chained transfers switch at burst
+/// granularity), so whenever `i` or a higher-priority task needs the
+/// channel it takes it immediately, and any contention slowdown a
+/// background transfer inflicts on compute is already inside the
+/// fully-inflated `e`/`F` values.
+///
+/// See [`rta_limited_preemption_with`] for the work-conserving variant.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_mcusim::{Cycles, PlatformConfig};
+/// use rtmdm_sched::{Segment, SporadicTask, StagingMode, TaskSet};
+/// use rtmdm_sched::analysis::rta_limited_preemption;
+///
+/// # fn main() -> Result<(), rtmdm_sched::TaskError> {
+/// let t = SporadicTask::new(
+///     "kws",
+///     Cycles::new(1_000_000),
+///     Cycles::new(1_000_000),
+///     vec![Segment::new(Cycles::new(50_000), 8_192)],
+///     StagingMode::Overlapped,
+/// )?;
+/// let outcome = rta_limited_preemption(
+///     &TaskSet::from_tasks(vec![t]),
+///     &PlatformConfig::stm32f746_qspi(),
+/// );
+/// assert!(outcome.schedulable);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rta_limited_preemption(ts: &TaskSet, platform: &PlatformConfig) -> AnalysisOutcome {
+    rta_limited_preemption_with(ts, platform, SchedulerMode::Gated)
+}
+
+/// The RT-MDM response-time analysis under an explicit
+/// [`SchedulerMode`] (see [`rta_limited_preemption`] for the formula).
+pub fn rta_limited_preemption_with(
+    ts: &TaskSet,
+    platform: &PlatformConfig,
+    mode: SchedulerMode,
+) -> AnalysisOutcome {
+    let timings: Vec<TaskTiming> = ts
+        .tasks()
+        .iter()
+        .map(|t| TaskTiming::derive(t, platform))
+        .collect();
+    let mut response = Vec::with_capacity(ts.len());
+    let mut schedulable = true;
+
+    for (i, task) in ts.tasks().iter().enumerate() {
+        let blocking = blocking_bound(&timings, i, mode);
+        let r = fixed_point(
+            ts,
+            &timings,
+            i,
+            blocking + timings[i].pipeline_latency,
+            mode,
+        );
+        match r {
+            Some(r) => {
+                if r > task.deadline {
+                    schedulable = false;
+                }
+                response.push(Some(r));
+            }
+            None => {
+                schedulable = false;
+                response.push(None);
+            }
+        }
+    }
+    AnalysisOutcome {
+        schedulable,
+        response,
+    }
+}
+
+/// Blocking bound of task `i` from lower-priority non-preemptive
+/// segments.
+fn blocking_bound(timings: &[TaskTiming], i: usize, mode: SchedulerMode) -> Cycles {
+    let max_lp_exec = timings[i + 1..]
+        .iter()
+        .map(|t| t.max_exec_segment)
+        .max()
+        .unwrap_or(Cycles::ZERO);
+    match mode {
+        // Gated: lower-priority segments cannot start while i is active,
+        // so only a segment already in flight at i's release blocks.
+        SchedulerMode::Gated => max_lp_exec,
+        // Work-conserving: every DMA wait of i lets one more
+        // lower-priority segment in.
+        SchedulerMode::WorkConserving => max_lp_exec * timings[i].resume_points,
+    }
+}
+
+/// Iterates the response-time fixed point for task `i` with the given
+/// initial value. Returns `None` if it fails to converge within
+/// [`MAX_ITERATIONS`] or overflows the divergence cap (16 × period).
+fn fixed_point(
+    ts: &TaskSet,
+    timings: &[TaskTiming],
+    i: usize,
+    base: Cycles,
+    mode: SchedulerMode,
+) -> Option<Cycles> {
+    let cap = ts.tasks()[i].period.checked_mul(16)?;
+    let _ = mode; // interference is mode-independent; blocking differs
+    let mut r = base;
+    for _ in 0..MAX_ITERATIONS {
+        let mut next = base;
+        // Higher-priority occupancy with suspension-induced jitter.
+        for (j, hp) in ts.tasks().iter().enumerate().take(i) {
+            let demand = timings[j].occupancy;
+            let jitter = hp.deadline.saturating_sub(demand);
+            let window = r.checked_add(jitter)?;
+            let jobs = window.get().div_ceil(hp.period.get());
+            next = next.checked_add(demand.checked_mul(jobs)?)?;
+        }
+        if next == r {
+            return Some(r);
+        }
+        if next > cap {
+            return None;
+        }
+        r = next;
+    }
+    None
+}
+
+/// Baseline B4: classic fully-preemptive response-time analysis on raw
+/// compute times, ignoring staging, contention, context switches, and
+/// blocking. **Unsound for this system** — provided to reproduce the
+/// admits-then-misses behaviour of memory-oblivious admission.
+pub fn rta_memory_oblivious(ts: &TaskSet, _platform: &PlatformConfig) -> AnalysisOutcome {
+    let comps: Vec<Cycles> = ts.tasks().iter().map(|t| t.total_compute()).collect();
+    let mut response = Vec::with_capacity(ts.len());
+    let mut schedulable = true;
+    for (i, task) in ts.tasks().iter().enumerate() {
+        let cap = match task.period.checked_mul(16) {
+            Some(c) => c,
+            None => {
+                schedulable = false;
+                response.push(None);
+                continue;
+            }
+        };
+        let mut r = comps[i];
+        let mut converged = None;
+        for _ in 0..MAX_ITERATIONS {
+            let mut next = comps[i];
+            for (j, hp) in ts.tasks().iter().enumerate().take(i) {
+                let jobs = r.get().div_ceil(hp.period.get());
+                next += comps[j] * jobs;
+            }
+            if next == r {
+                converged = Some(r);
+                break;
+            }
+            if next > cap {
+                break;
+            }
+            r = next;
+        }
+        match converged {
+            Some(r) => {
+                if r > task.deadline {
+                    schedulable = false;
+                }
+                response.push(Some(r));
+            }
+            None => {
+                schedulable = false;
+                response.push(None);
+            }
+        }
+    }
+    AnalysisOutcome {
+        schedulable,
+        response,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Segment, SporadicTask, StagingMode};
+    use rtmdm_mcusim::ContentionModel;
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn bare_platform() -> PlatformConfig {
+        let mut p = PlatformConfig::stm32f746_qspi();
+        p.contention = ContentionModel::NONE;
+        p.context_switch_cycles = Cycles::ZERO;
+        p.ext_mem.setup_cycles = Cycles::ZERO;
+        p.ext_mem.cycles_per_byte_num = 1;
+        p.ext_mem.cycles_per_byte_den = 1;
+        p
+    }
+
+    fn resident(name: &str, period: u64, compute: u64) -> SporadicTask {
+        SporadicTask::new(
+            name,
+            cy(period),
+            cy(period),
+            vec![Segment::new(cy(compute), 0)],
+            StagingMode::Resident,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn single_task_response_is_its_pipeline_latency() {
+        let ts = TaskSet::from_tasks(vec![resident("a", 1000, 300)]);
+        let out = rta_limited_preemption(&ts, &bare_platform());
+        assert!(out.schedulable);
+        assert_eq!(out.response_of(0), Some(cy(300)));
+    }
+
+    #[test]
+    fn classic_two_task_example() {
+        // hi (C=20, T=100) over lo (one non-preemptive 200-cycle
+        // segment, T=1000): hi's bound is B (one lo segment, 200) plus
+        // its own 20 = 220 — which exceeds hi's deadline of 100, so the
+        // analysis must reject the set on blocking grounds alone.
+        let ts = TaskSet::from_tasks(vec![
+            resident("hi", 100, 20),
+            resident("lo", 1000, 200),
+        ]);
+        let out = rta_limited_preemption(&ts, &bare_platform());
+        let r_hi = out.response_of(0).expect("converged");
+        assert_eq!(r_hi, cy(220));
+        assert!(!out.schedulable);
+    }
+
+    #[test]
+    fn blocking_violating_deadline_flags_unschedulable() {
+        let ts = TaskSet::from_tasks(vec![
+            resident("hi", 100, 20),
+            resident("lo", 1000, 200),
+        ]);
+        let out = rta_limited_preemption(&ts, &bare_platform());
+        // From the previous test: r_hi = 220 > 100 → unschedulable.
+        assert!(!out.schedulable);
+    }
+
+    #[test]
+    fn interference_accumulates_per_release() {
+        let ts = TaskSet::from_tasks(vec![
+            resident("hi", 100, 20),
+            resident("mid", 400, 40),
+            resident("lo", 10_000, 30),
+        ]);
+        let out = rta_limited_preemption(&ts, &bare_platform());
+        assert!(out.schedulable, "{out:?}");
+        // lo: blocking none below, P=30, interference from hi and mid
+        // with their jitter. The bound is conservative but must converge
+        // well under the period.
+        let r_lo = out.response_of(2).expect("converged");
+        assert!(r_lo >= cy(90)); // at least P + one job of each hp task
+        assert!(r_lo <= cy(10_000));
+    }
+
+    #[test]
+    fn overloaded_set_is_rejected() {
+        // 160 % utilization: the fixed point for b lands at 720 (8 jobs
+        // of a at 80 each, plus its own 80), far past its deadline.
+        let ts = TaskSet::from_tasks(vec![
+            resident("a", 100, 80),
+            resident("b", 100, 80),
+        ]);
+        let out = rta_limited_preemption(&ts, &bare_platform());
+        assert!(!out.schedulable);
+        // Divergence would be an equally valid rejection; a converged
+        // bound must lie past the deadline.
+        if let Some(r) = out.response.last().copied().flatten() {
+            assert!(r > cy(100), "bound {r} must exceed the deadline");
+        }
+    }
+
+    #[test]
+    fn true_divergence_yields_none() {
+        // b under a task with utilization 1.0 can never converge.
+        let ts = TaskSet::from_tasks(vec![
+            resident("a", 100, 100),
+            resident("b", 1000, 10),
+        ]);
+        let out = rta_limited_preemption(&ts, &bare_platform());
+        assert!(!out.schedulable);
+        assert_eq!(out.response.last().copied().flatten(), None);
+    }
+
+    #[test]
+    fn fetch_heavy_task_pays_for_unhidden_staging() {
+        let p = bare_platform();
+        // One overlapped task: fetch dominates compute.
+        let t = SporadicTask::new(
+            "f",
+            cy(10_000),
+            cy(10_000),
+            vec![Segment::new(cy(100), 2_000), Segment::new(cy(100), 2_000)],
+            StagingMode::Overlapped,
+        )
+        .expect("valid");
+        let ts = TaskSet::from_tasks(vec![t]);
+        let out = rta_limited_preemption(&ts, &p);
+        // P = F1 + max(e1,F2) + e2 = 2000 + 2000 + 100 = 4100.
+        assert_eq!(out.response_of(0), Some(cy(4100)));
+    }
+
+    #[test]
+    fn memory_oblivious_ignores_fetch_entirely() {
+        let p = bare_platform();
+        let t = SporadicTask::new(
+            "f",
+            cy(10_000),
+            cy(10_000),
+            vec![Segment::new(cy(100), 1 << 20)], // a megabyte of weights
+            StagingMode::Overlapped,
+        )
+        .expect("valid");
+        let ts = TaskSet::from_tasks(vec![t]);
+        let out = rta_memory_oblivious(&ts, &p);
+        assert_eq!(out.response_of(0), Some(cy(100)));
+        assert!(out.schedulable);
+        // The sound analysis knows better.
+        let sound = rta_limited_preemption(&ts, &p);
+        assert!(!sound.schedulable);
+    }
+
+    #[test]
+    fn rtmdm_dominates_memory_oblivious_bounds() {
+        let ts = TaskSet::from_tasks(vec![
+            resident("a", 1000, 100),
+            resident("b", 2000, 300),
+        ]);
+        let p = bare_platform();
+        let sound = rta_limited_preemption(&ts, &p);
+        let oblivious = rta_memory_oblivious(&ts, &p);
+        for i in 0..ts.len() {
+            let (Some(rs), Some(ro)) = (sound.response_of(i), oblivious.response_of(i)) else {
+                continue;
+            };
+            assert!(rs >= ro, "task {i}: sound {rs} < oblivious {ro}");
+        }
+    }
+
+    #[test]
+    fn empty_taskset_is_schedulable() {
+        let out = rta_limited_preemption(&TaskSet::new(), &bare_platform());
+        assert!(out.schedulable);
+        assert!(out.response.is_empty());
+    }
+}

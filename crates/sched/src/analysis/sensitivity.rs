@@ -1,0 +1,180 @@
+//! Sensitivity analysis: how much headroom does an admitted set have?
+//!
+//! Scales every segment's compute time by a common factor and binary
+//! searches for the largest factor the RT-MDM analysis still admits —
+//! the classic "critical scaling factor" a system designer uses to
+//! judge robustness against WCET underestimation.
+
+use rtmdm_mcusim::PlatformConfig;
+
+use crate::analysis::rta::{rta_limited_preemption_with, SchedulerMode};
+use crate::task::{Segment, SporadicTask, TaskSet};
+
+/// Upper bound of the search range: 4× the nominal WCETs.
+const MAX_SCALE_PPM: u64 = 4_000_000;
+
+/// Returns a copy of the set with every segment's compute scaled by
+/// `scale_ppm / 1e6` (fetch bytes unchanged), rounding up.
+pub fn scaled_taskset(ts: &TaskSet, scale_ppm: u64) -> TaskSet {
+    ts.tasks()
+        .iter()
+        .map(|t| SporadicTask {
+            name: t.name.clone(),
+            period: t.period,
+            deadline: t.deadline,
+            segments: t
+                .segments
+                .iter()
+                .map(|s| {
+                    Segment::new(
+                        s.compute.mul_ratio_ceil(scale_ppm.max(1), 1_000_000),
+                        s.fetch_bytes,
+                    )
+                })
+                .collect(),
+            mode: t.mode,
+        })
+        .collect()
+}
+
+/// The largest compute-scaling factor (in ppm) at which the analysis
+/// still admits the set, searched to a 0.1 % resolution; 0 if even a
+/// vanishing compute load is rejected (e.g. staging alone overruns a
+/// deadline).
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_mcusim::{Cycles, PlatformConfig};
+/// use rtmdm_sched::{Segment, SporadicTask, StagingMode, TaskSet};
+/// use rtmdm_sched::analysis::{critical_scaling_ppm, SchedulerMode};
+///
+/// # fn main() -> Result<(), rtmdm_sched::TaskError> {
+/// let t = SporadicTask::new(
+///     "t", Cycles::new(1_000), Cycles::new(1_000),
+///     vec![Segment::new(Cycles::new(250), 0)], StagingMode::Resident,
+/// )?;
+/// let ts = TaskSet::from_tasks(vec![t]);
+/// let limit = critical_scaling_ppm(&ts, &PlatformConfig::ideal_sram(), SchedulerMode::Gated);
+/// // 250 cycles of compute (plus a 400-cycle context switch) per
+/// // 1000-cycle deadline: ≈2.4× headroom.
+/// assert!(limit > 2_000_000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn critical_scaling_ppm(
+    ts: &TaskSet,
+    platform: &PlatformConfig,
+    mode: SchedulerMode,
+) -> u64 {
+    let admits = |ppm: u64| -> bool {
+        rta_limited_preemption_with(&scaled_taskset(ts, ppm), platform, mode).schedulable
+    };
+    if !admits(1_000) {
+        return 0;
+    }
+    if admits(MAX_SCALE_PPM) {
+        return MAX_SCALE_PPM;
+    }
+    let (mut lo, mut hi) = (1_000u64, MAX_SCALE_PPM);
+    while hi - lo > 1_000 {
+        let mid = lo + (hi - lo) / 2;
+        if admits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::StagingMode;
+    use rtmdm_mcusim::{ContentionModel, Cycles};
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn bare_platform() -> PlatformConfig {
+        let mut p = PlatformConfig::stm32f746_qspi();
+        p.contention = ContentionModel::NONE;
+        p.context_switch_cycles = Cycles::ZERO;
+        p.ext_mem.setup_cycles = Cycles::ZERO;
+        p.ext_mem.cycles_per_byte_num = 1;
+        p.ext_mem.cycles_per_byte_den = 1;
+        p
+    }
+
+    fn resident(name: &str, period: u64, compute: u64) -> SporadicTask {
+        SporadicTask::new(
+            name,
+            cy(period),
+            cy(period),
+            vec![Segment::new(cy(compute), 0)],
+            StagingMode::Resident,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn scaling_preserves_structure_and_rounds_up() {
+        let ts = TaskSet::from_tasks(vec![resident("a", 100, 3)]);
+        let double = scaled_taskset(&ts, 2_000_000);
+        assert_eq!(double.tasks()[0].segments[0].compute, cy(6));
+        let third = scaled_taskset(&ts, 333_334);
+        assert_eq!(third.tasks()[0].segments[0].compute, cy(2)); // ceil
+        assert_eq!(double.tasks()[0].period, cy(100));
+    }
+
+    #[test]
+    fn limit_brackets_the_admission_boundary() {
+        let p = bare_platform();
+        let ts = TaskSet::from_tasks(vec![resident("a", 100, 30), resident("b", 200, 40)]);
+        let limit = critical_scaling_ppm(&ts, &p, SchedulerMode::Gated);
+        assert!(limit >= 1_000_000, "admitted set must have scale ≥ 1");
+        assert!(
+            rta_limited_preemption_with(&scaled_taskset(&ts, limit), &p, SchedulerMode::Gated)
+                .schedulable
+        );
+        if limit < MAX_SCALE_PPM {
+            assert!(!rta_limited_preemption_with(
+                &scaled_taskset(&ts, limit + 20_000),
+                &p,
+                SchedulerMode::Gated
+            )
+            .schedulable);
+        }
+    }
+
+    #[test]
+    fn infeasible_staging_yields_zero() {
+        // Fetch time alone exceeds the deadline; no compute scale helps.
+        let t = SporadicTask::new(
+            "f",
+            cy(1_000),
+            cy(1_000),
+            vec![Segment::new(cy(10), 5_000)],
+            StagingMode::Overlapped,
+        )
+        .expect("valid");
+        let ts = TaskSet::from_tasks(vec![t]);
+        assert_eq!(
+            critical_scaling_ppm(&ts, &bare_platform(), SchedulerMode::Gated),
+            0
+        );
+    }
+
+    #[test]
+    fn lighter_sets_have_more_headroom() {
+        let p = bare_platform();
+        let light = TaskSet::from_tasks(vec![resident("a", 1000, 100)]);
+        let heavy = TaskSet::from_tasks(vec![resident("a", 1000, 600)]);
+        assert!(
+            critical_scaling_ppm(&light, &p, SchedulerMode::Gated)
+                > critical_scaling_ppm(&heavy, &p, SchedulerMode::Gated)
+        );
+    }
+}

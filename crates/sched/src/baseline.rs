@@ -1,0 +1,157 @@
+//! Baseline execution strategies, expressed as task transformations.
+//!
+//! Every evaluation baseline is an implemented system, not a thought
+//! experiment. Because the simulator and the analyses operate on the
+//! segmented task model, the baselines reduce to transformations:
+//!
+//! - **B1 — fetch-then-compute** ([`fetch_then_compute`]): the TinyML
+//!   runtime pattern of copying a weight block and then running it, with
+//!   the CPU held during the copy. Each segment's compute absorbs its
+//!   transfer time; no DMA parallelism remains.
+//! - **B2 — whole-DNN non-preemptive** ([`whole_job`]): the entire
+//!   inference runs as one non-preemptive block (apply after
+//!   [`fetch_then_compute`] to also charge staging).
+//! - **B3 — all-in-SRAM** ([`resident`]): staging is free; the
+//!   idealised upper baseline.
+
+use rtmdm_mcusim::PlatformConfig;
+
+use crate::task::{Segment, SporadicTask, StagingMode, TaskSet};
+
+/// B1: folds each segment's transfer time into its compute and drops
+/// DMA staging — the CPU busy-waits the copy, as a runtime without
+/// asynchronous staging would.
+pub fn fetch_then_compute(task: &SporadicTask, platform: &PlatformConfig) -> SporadicTask {
+    let segments = task
+        .segments
+        .iter()
+        .map(|s| {
+            Segment::new(
+                s.compute + platform.ext_mem.transfer_cycles(s.fetch_bytes),
+                0,
+            )
+        })
+        .collect();
+    SporadicTask {
+        name: task.name.clone(),
+        period: task.period,
+        deadline: task.deadline,
+        segments,
+        mode: StagingMode::Resident,
+    }
+}
+
+/// B2: merges all segments into a single non-preemptive block. Fetch
+/// bytes are summed, so apply [`fetch_then_compute`] first when staging
+/// should be charged (the usual B2 configuration).
+pub fn whole_job(task: &SporadicTask) -> SporadicTask {
+    let total = Segment::new(
+        task.total_compute(),
+        task.segments.iter().map(|s| s.fetch_bytes).sum(),
+    );
+    SporadicTask {
+        name: task.name.clone(),
+        period: task.period,
+        deadline: task.deadline,
+        segments: vec![total],
+        mode: task.mode,
+    }
+}
+
+/// B3: marks the task resident — staging is free (all weights fit
+/// SRAM). Segment structure is preserved, so preemption granularity is
+/// unchanged.
+pub fn resident(task: &SporadicTask) -> SporadicTask {
+    let mut t = task.clone();
+    t.mode = StagingMode::Resident;
+    t
+}
+
+/// Applies a per-task transformation to a whole set, preserving order.
+pub fn transform_set<F>(ts: &TaskSet, f: F) -> TaskSet
+where
+    F: Fn(&SporadicTask) -> SporadicTask,
+{
+    ts.tasks().iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_mcusim::{ContentionModel, Cycles};
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn bare_platform() -> PlatformConfig {
+        let mut p = PlatformConfig::stm32f746_qspi();
+        p.contention = ContentionModel::NONE;
+        p.context_switch_cycles = Cycles::ZERO;
+        p.ext_mem.setup_cycles = Cycles::ZERO;
+        p.ext_mem.cycles_per_byte_num = 1;
+        p.ext_mem.cycles_per_byte_den = 1;
+        p
+    }
+
+    fn task() -> SporadicTask {
+        SporadicTask::new(
+            "t",
+            cy(10_000),
+            cy(10_000),
+            vec![Segment::new(cy(100), 50), Segment::new(cy(200), 70)],
+            StagingMode::Overlapped,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn b1_folds_fetch_into_compute() {
+        let b1 = fetch_then_compute(&task(), &bare_platform());
+        assert_eq!(b1.mode, StagingMode::Resident);
+        assert_eq!(b1.segments[0], Segment::new(cy(150), 0));
+        assert_eq!(b1.segments[1], Segment::new(cy(270), 0));
+        assert_eq!(b1.total_fetch_bytes(), 0);
+    }
+
+    #[test]
+    fn b2_merges_into_one_block() {
+        let b2 = whole_job(&task());
+        assert_eq!(b2.segment_count(), 1);
+        assert_eq!(b2.total_compute(), cy(300));
+        assert_eq!(b2.segments[0].fetch_bytes, 120);
+        // Usual composition: fold staging first, then merge.
+        let b2_full = whole_job(&fetch_then_compute(&task(), &bare_platform()));
+        assert_eq!(b2_full.segments[0], Segment::new(cy(420), 0));
+    }
+
+    #[test]
+    fn b3_keeps_segments_but_frees_staging() {
+        let b3 = resident(&task());
+        assert_eq!(b3.segment_count(), 2);
+        assert_eq!(b3.total_fetch_bytes(), 0);
+        assert_eq!(b3.total_compute(), cy(300));
+    }
+
+    #[test]
+    fn transform_set_preserves_order_and_count() {
+        let ts = TaskSet::from_tasks(vec![task(), task()]);
+        let p = bare_platform();
+        let b1 = transform_set(&ts, |t| fetch_then_compute(t, &p));
+        assert_eq!(b1.len(), 2);
+        assert_eq!(b1.tasks()[0].name, "t");
+    }
+
+    #[test]
+    fn timing_invariants_across_baselines() {
+        // B1 occupies the CPU strictly longer than RT-MDM's compute.
+        let p = bare_platform();
+        let orig = task();
+        let b1 = fetch_then_compute(&orig, &p);
+        assert!(b1.total_compute() > orig.total_compute());
+        // B3 never exceeds the original anywhere.
+        let b3 = resident(&orig);
+        assert_eq!(b3.total_compute(), orig.total_compute());
+        assert!(b3.total_fetch_bytes() <= orig.total_fetch_bytes());
+    }
+}

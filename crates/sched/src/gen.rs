@@ -1,0 +1,301 @@
+//! Synthetic task-set generation for schedulability experiments.
+//!
+//! Follows the standard methodology of the real-time literature:
+//! UUniFast utilizations, log-uniform periods, and — specific to this
+//! system — per-task segment structures with a configurable
+//! fetch-to-compute ratio that controls how external-memory-bound the
+//! workload is.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use rtmdm_mcusim::{Cycles, PlatformConfig};
+
+use crate::task::{Segment, SporadicTask, StagingMode, TaskSet};
+
+/// Parameters of a random task set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TasksetParams {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Target total *compute* utilization in parts per million
+    /// (UUniFast splits this across tasks).
+    pub total_compute_util_ppm: u64,
+    /// Period range in cycles, sampled log-uniformly.
+    pub period_range: (u64, u64),
+    /// Inclusive range of segment counts per task.
+    pub segments_range: (usize, usize),
+    /// Fetch work relative to compute work, in ppm: a segment with `C`
+    /// compute cycles gets weights whose transfer costs ≈ `ratio × C`
+    /// cycles on the target platform.
+    pub fetch_compute_ratio_ppm: u64,
+    /// Relative deadline as a fraction of the period, sampled uniformly
+    /// from this ppm range (1 000 000 = implicit deadlines).
+    pub deadline_factor_range_ppm: (u64, u64),
+    /// Staging mode of the generated tasks.
+    pub mode: StagingMode,
+    /// When set, periods are drawn from this list (uniformly) instead
+    /// of log-uniformly from `period_range` — useful to keep
+    /// hyperperiods small for exhaustive simulation.
+    pub period_choices: Option<Vec<u64>>,
+}
+
+impl TasksetParams {
+    /// A sensible default shape: implicit deadlines, 4–10 segments,
+    /// fetch work ≈ 40 % of compute work — a QSPI-flash-bound mix.
+    pub fn baseline(n_tasks: usize, total_compute_util_ppm: u64) -> Self {
+        TasksetParams {
+            n_tasks,
+            total_compute_util_ppm,
+            period_range: (2_000_000, 80_000_000), // 10–400 ms at 200 MHz
+            segments_range: (4, 10),
+            fetch_compute_ratio_ppm: 400_000,
+            deadline_factor_range_ppm: (1_000_000, 1_000_000),
+            mode: StagingMode::Overlapped,
+            period_choices: None,
+        }
+    }
+
+    /// Switches to a harmonic-friendly period grid (milliseconds at
+    /// 200 MHz) whose hyperperiod stays within two seconds, enabling
+    /// the exhaustive synchronous-simulation acceptance check.
+    pub fn with_grid_periods(mut self) -> Self {
+        // 10, 20, 25, 40, 50, 80, 100, 200, 250, 400 ms — lcm 2000 ms.
+        self.period_choices = Some(
+            [10u64, 20, 25, 40, 50, 80, 100, 200, 250, 400]
+                .iter()
+                .map(|ms| ms * 200_000)
+                .collect(),
+        );
+        self
+    }
+}
+
+/// UUniFast: splits `total_ppm` across `n` values, each in
+/// `(0, total_ppm)`, uniformly over the simplex.
+pub fn uunifast(n: usize, total_ppm: u64, rng: &mut StdRng) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total_ppm as f64 / 1e6;
+    for i in 1..n {
+        let next = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        utils.push(((sum - next) * 1e6) as u64);
+        sum = next;
+    }
+    utils.push((sum * 1e6) as u64);
+    utils
+}
+
+/// Generates a deterministic random task set.
+///
+/// Tasks come out in no particular priority order; callers typically
+/// apply [`rm_order`](crate::assign::rm_order) /
+/// [`audsley`](crate::assign::audsley) before analysis. Each task's
+/// total compute is `U_i × T_i`, split across its segments with
+/// ±50 % relative variation; per-segment weight bytes are sized so that
+/// the transfer time on `platform` matches the configured
+/// fetch-to-compute ratio.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_mcusim::PlatformConfig;
+/// use rtmdm_sched::gen::{generate, TasksetParams};
+///
+/// let p = PlatformConfig::stm32f746_qspi();
+/// let ts = generate(&TasksetParams::baseline(5, 400_000), &p, 7);
+/// assert_eq!(ts.len(), 5);
+/// let again = generate(&TasksetParams::baseline(5, 400_000), &p, 7);
+/// assert_eq!(ts, again);
+/// ```
+pub fn generate(params: &TasksetParams, platform: &PlatformConfig, seed: u64) -> TaskSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let utils = uunifast(params.n_tasks, params.total_compute_util_ppm, &mut rng);
+    let mut tasks = Vec::with_capacity(params.n_tasks);
+    for (i, util_ppm) in utils.into_iter().enumerate() {
+        let period = match &params.period_choices {
+            Some(choices) => {
+                assert!(!choices.is_empty(), "period_choices must be non-empty");
+                choices[rng.gen_range(0..choices.len())]
+            }
+            None => {
+                let (lo, hi) = params.period_range;
+                log_uniform(lo, hi, &mut rng)
+            }
+        };
+        let total_compute = (u128::from(period) * u128::from(util_ppm.max(1)) / 1_000_000) as u64;
+        let total_compute = total_compute.max(100);
+
+        let (smin, smax) = params.segments_range;
+        let n_segs = rng.gen_range(smin..=smax.max(smin));
+        let weights: Vec<f64> = (0..n_segs).map(|_| rng.gen_range(0.5..1.5)).collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut segments = Vec::with_capacity(n_segs);
+        let mut assigned = 0u64;
+        for (k, w) in weights.iter().enumerate() {
+            let compute = if k + 1 == n_segs {
+                total_compute - assigned
+            } else {
+                let c = ((total_compute as f64) * w / wsum) as u64;
+                assigned += c;
+                c
+            }
+            .max(1);
+            let fetch_cycles =
+                (u128::from(compute) * u128::from(params.fetch_compute_ratio_ppm) / 1_000_000)
+                    as u64;
+            let bytes = cycles_to_bytes(fetch_cycles, platform);
+            segments.push(Segment::new(Cycles::new(compute), bytes));
+        }
+
+        let (dlo, dhi) = params.deadline_factor_range_ppm;
+        let factor = if dlo >= dhi { dlo } else { rng.gen_range(dlo..=dhi) };
+        let deadline =
+            ((u128::from(period) * u128::from(factor.min(1_000_000)) / 1_000_000) as u64).max(1);
+
+        tasks.push(
+            SporadicTask::new(
+                format!("gen{i}"),
+                Cycles::new(period),
+                Cycles::new(deadline),
+                segments,
+                params.mode,
+            )
+            .expect("generated task is valid by construction"),
+        );
+    }
+    TaskSet::from_tasks(tasks)
+}
+
+/// Bytes whose streaming time is closest to `cycles` on `platform`
+/// (0 for the ideal memory).
+fn cycles_to_bytes(cycles: u64, platform: &PlatformConfig) -> u64 {
+    let num = platform.ext_mem.cycles_per_byte_num;
+    let den = platform.ext_mem.cycles_per_byte_den;
+    if num == 0 {
+        return 0;
+    }
+    (u128::from(cycles) * u128::from(den) / u128::from(num)) as u64
+}
+
+fn log_uniform(lo: u64, hi: u64, rng: &mut StdRng) -> u64 {
+    assert!(lo > 0 && hi >= lo, "invalid period range");
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let v = rng.gen_range(llo..=lhi).exp();
+    (v as u64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> PlatformConfig {
+        PlatformConfig::stm32f746_qspi()
+    }
+
+    #[test]
+    fn uunifast_sums_to_total_and_stays_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 20] {
+            let utils = uunifast(n, 700_000, &mut rng);
+            assert_eq!(utils.len(), n);
+            let sum: u64 = utils.iter().sum();
+            assert!(
+                (690_000..=710_000).contains(&sum),
+                "n={n} sum={sum} (float conversion tolerance)"
+            );
+        }
+        assert!(uunifast(0, 500_000, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn generated_set_matches_target_utilization() {
+        let params = TasksetParams::baseline(8, 500_000);
+        let ts = generate(&params, &platform(), 11);
+        let u = ts.compute_utilization_ppm();
+        assert!(
+            (450_000..=560_000).contains(&u),
+            "target 0.5, got {} ppm",
+            u
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = TasksetParams::baseline(6, 400_000);
+        assert_eq!(
+            generate(&params, &platform(), 5),
+            generate(&params, &platform(), 5)
+        );
+        assert_ne!(
+            generate(&params, &platform(), 5),
+            generate(&params, &platform(), 6)
+        );
+    }
+
+    #[test]
+    fn segment_counts_respect_range() {
+        let mut params = TasksetParams::baseline(10, 300_000);
+        params.segments_range = (3, 5);
+        let ts = generate(&params, &platform(), 2);
+        for t in ts.tasks() {
+            assert!((3..=5).contains(&t.segment_count()), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn fetch_ratio_controls_weight_bytes() {
+        let mut light = TasksetParams::baseline(5, 400_000);
+        light.fetch_compute_ratio_ppm = 100_000;
+        let mut heavy = light.clone();
+        heavy.fetch_compute_ratio_ppm = 800_000;
+        let p = platform();
+        let tl = generate(&light, &p, 9);
+        let th = generate(&heavy, &p, 9);
+        let bytes = |ts: &TaskSet| -> u64 { ts.tasks().iter().map(|t| t.total_fetch_bytes()).sum() };
+        assert!(bytes(&th) > 4 * bytes(&tl));
+    }
+
+    #[test]
+    fn deadline_factor_produces_constrained_deadlines() {
+        let mut params = TasksetParams::baseline(10, 300_000);
+        params.deadline_factor_range_ppm = (600_000, 900_000);
+        let ts = generate(&params, &platform(), 13);
+        for t in ts.tasks() {
+            assert!(t.deadline < t.period, "{}", t.name);
+            assert!(t.deadline.get() * 10 >= t.period.get() * 5, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn grid_periods_come_from_the_grid() {
+        let params = TasksetParams::baseline(20, 300_000).with_grid_periods();
+        let ts = generate(&params, &platform(), 23);
+        let grid = params.period_choices.as_ref().unwrap();
+        for t in ts.tasks() {
+            assert!(grid.contains(&t.period.get()), "{}", t.period);
+        }
+    }
+
+    #[test]
+    fn periods_stay_in_range() {
+        let params = TasksetParams::baseline(30, 300_000);
+        let ts = generate(&params, &platform(), 17);
+        for t in ts.tasks() {
+            assert!(t.period.get() >= params.period_range.0);
+            assert!(t.period.get() <= params.period_range.1);
+        }
+    }
+
+    #[test]
+    fn ideal_memory_generates_zero_fetch() {
+        let params = TasksetParams::baseline(4, 300_000);
+        let ts = generate(&params, &PlatformConfig::ideal_sram(), 3);
+        for t in ts.tasks() {
+            assert_eq!(t.total_fetch_bytes(), 0);
+        }
+    }
+}

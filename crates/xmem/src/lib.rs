@@ -1,0 +1,52 @@
+//! # rtmdm-xmem — external-memory weight staging
+//!
+//! The mechanism at the heart of RT-MDM: DNN weights live in external
+//! memory and are staged into on-chip SRAM by DMA, segment by segment,
+//! overlapping the fetch of segment *k+1* with the compute of segment
+//! *k* (double buffering). This crate provides:
+//!
+//! - [`SramArena`]: a deterministic first-fit SRAM allocator used to lay
+//!   out activation buffers and per-task fetch buffers,
+//! - [`SramLayout`]: the admission-time SRAM plan for a set of models,
+//! - [`segment_model`]: the layer→segment fetch planner — greedy grouping
+//!   of consecutive layers whose weights fit one fetch buffer,
+//! - [`pipeline`]: closed-form timing of the fetch/compute pipeline for a
+//!   job running in isolation, under three execution strategies
+//!   (overlapped prefetch, fetch-then-compute, all-in-SRAM),
+//! - [`spill`]: the activation-spilling extension for models whose
+//!   feature maps exceed SRAM.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rtmdm_dnn::{zoo, CostModel};
+//! use rtmdm_mcusim::PlatformConfig;
+//! use rtmdm_xmem::{segment_model, pipeline, ExecutionStrategy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = zoo::resnet8();
+//! let seg = segment_model(&model, &CostModel::cmsis_nn_m7(), 40 * 1024)?;
+//! let platform = PlatformConfig::stm32f746_qspi();
+//! let overlapped = pipeline::isolated_latency(&seg, &platform, ExecutionStrategy::OverlappedPrefetch);
+//! let sequential = pipeline::isolated_latency(&seg, &platform, ExecutionStrategy::FetchThenCompute);
+//! assert!(overlapped <= sequential);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod error;
+pub mod pipeline;
+mod plan;
+pub mod spill;
+
+pub use arena::{AllocHandle, SramArena};
+pub use error::PlanError;
+pub use pipeline::{stage_timings, ExecutionStrategy, StageTiming};
+pub use plan::{
+    segment_model, segment_model_capped, segment_model_tiled, ModelSegmentation, SegmentPlan,
+    SramLayout,
+};

@@ -1,0 +1,282 @@
+//! Closed-form timing of the fetch/compute pipeline for a job running in
+//! isolation (no other tasks). This is the model behind experiment F1 and
+//! the per-segment worst-case numbers the schedulability analysis builds
+//! on.
+
+use serde::{Deserialize, Serialize};
+
+use rtmdm_mcusim::{Cycles, PlatformConfig};
+
+use crate::plan::ModelSegmentation;
+
+/// How a task stages weights relative to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ExecutionStrategy {
+    /// RT-MDM: double-buffered prefetch — while segment *k* computes, the
+    /// DMA stages segment *k+1*; compute and fetch contend on the bus.
+    OverlappedPrefetch,
+    /// Baseline B1: stage a segment, then compute it, strictly
+    /// alternating with no overlap (TinyML-runtime style).
+    FetchThenCompute,
+    /// Baseline B3: all weights resident in SRAM; no staging at all.
+    AllInSram,
+}
+
+impl std::fmt::Display for ExecutionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExecutionStrategy::OverlappedPrefetch => "overlapped-prefetch",
+            ExecutionStrategy::FetchThenCompute => "fetch-then-compute",
+            ExecutionStrategy::AllInSram => "all-in-sram",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Wall-clock timing of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Segment index the stage computes.
+    pub segment: usize,
+    /// CPU work retired in this stage (uninflated cycles).
+    pub compute_work: Cycles,
+    /// DMA work performed during this stage (uninflated cycles): the
+    /// *next* segment's fetch under overlapped prefetch, the *own*
+    /// segment's fetch under fetch-then-compute, zero for all-in-SRAM.
+    pub fetch_work: Cycles,
+    /// Wall-clock duration of the stage including contention.
+    pub stage: Cycles,
+}
+
+/// Per-stage timings of a single job in isolation.
+///
+/// Under [`ExecutionStrategy::OverlappedPrefetch`] the list excludes the
+/// lead-in fetch of segment 0 (no compute overlaps it); use
+/// [`isolated_latency`] for the end-to-end number.
+pub fn stage_timings(
+    seg: &ModelSegmentation,
+    platform: &PlatformConfig,
+    strategy: ExecutionStrategy,
+) -> Vec<StageTiming> {
+    let n = seg.segments.len();
+    let mut out = Vec::with_capacity(n);
+    for (k, s) in seg.segments.iter().enumerate() {
+        let compute_work = s.compute_cycles;
+        match strategy {
+            ExecutionStrategy::OverlappedPrefetch => {
+                let fetch_work = if k + 1 < n {
+                    platform
+                        .ext_mem
+                        .transfer_cycles(seg.segments[k + 1].fetch_bytes)
+                } else {
+                    Cycles::ZERO
+                };
+                let stage = platform
+                    .contention
+                    .overlap(compute_work, fetch_work)
+                    .stage_finish();
+                out.push(StageTiming {
+                    segment: k,
+                    compute_work,
+                    fetch_work,
+                    stage,
+                });
+            }
+            ExecutionStrategy::FetchThenCompute => {
+                let fetch_work = platform.ext_mem.transfer_cycles(s.fetch_bytes);
+                out.push(StageTiming {
+                    segment: k,
+                    compute_work,
+                    fetch_work,
+                    stage: fetch_work + compute_work,
+                });
+            }
+            ExecutionStrategy::AllInSram => out.push(StageTiming {
+                segment: k,
+                compute_work,
+                fetch_work: Cycles::ZERO,
+                stage: compute_work,
+            }),
+        }
+    }
+    out
+}
+
+/// End-to-end latency of one inference in isolation, including the
+/// lead-in fetch where the strategy has one.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_dnn::{zoo, CostModel};
+/// use rtmdm_mcusim::PlatformConfig;
+/// use rtmdm_xmem::{segment_model, pipeline, ExecutionStrategy};
+///
+/// # fn main() -> Result<(), rtmdm_xmem::PlanError> {
+/// let seg = segment_model(&zoo::ds_cnn(), &CostModel::cmsis_nn_m7(), 16 * 1024)?;
+/// let p = PlatformConfig::stm32f746_qspi();
+/// let ideal = pipeline::isolated_latency(&seg, &p, ExecutionStrategy::AllInSram);
+/// let rtmdm = pipeline::isolated_latency(&seg, &p, ExecutionStrategy::OverlappedPrefetch);
+/// let naive = pipeline::isolated_latency(&seg, &p, ExecutionStrategy::FetchThenCompute);
+/// assert!(ideal <= rtmdm && rtmdm <= naive);
+/// # Ok(())
+/// # }
+/// ```
+pub fn isolated_latency(
+    seg: &ModelSegmentation,
+    platform: &PlatformConfig,
+    strategy: ExecutionStrategy,
+) -> Cycles {
+    let stages = stage_timings(seg, platform, strategy);
+    let body: Cycles = stages.iter().map(|s| s.stage).sum();
+    let lead_in = match strategy {
+        ExecutionStrategy::OverlappedPrefetch => seg
+            .segments
+            .first()
+            .map(|s| platform.ext_mem.transfer_cycles(s.fetch_bytes))
+            .unwrap_or(Cycles::ZERO),
+        _ => Cycles::ZERO,
+    };
+    lead_in + body
+}
+
+/// The fraction of staging time hidden by overlap, in percent:
+/// `100 * (naive - overlapped) / (naive - ideal)`, clamped to `[0, 100]`.
+/// Returns `None` when staging is free (ideal memory), where hiding is
+/// undefined.
+pub fn overlap_efficiency_pct(
+    seg: &ModelSegmentation,
+    platform: &PlatformConfig,
+) -> Option<u64> {
+    let naive = isolated_latency(seg, platform, ExecutionStrategy::FetchThenCompute);
+    let ideal = isolated_latency(seg, platform, ExecutionStrategy::AllInSram);
+    let rtmdm = isolated_latency(seg, platform, ExecutionStrategy::OverlappedPrefetch);
+    let staging = naive.saturating_sub(ideal);
+    if staging.is_zero() {
+        return None;
+    }
+    let hidden = naive.saturating_sub(rtmdm);
+    Some((hidden.get() * 100 / staging.get()).min(100))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::segment_model;
+    use rtmdm_dnn::{zoo, CostModel};
+
+    fn seg(buffer: u64) -> ModelSegmentation {
+        segment_model(&zoo::resnet8(), &CostModel::cmsis_nn_m7(), buffer).expect("plan")
+    }
+
+    #[test]
+    fn strategy_ordering_holds_on_every_preset() {
+        let s = seg(48 * 1024);
+        for p in PlatformConfig::presets() {
+            let ideal = isolated_latency(&s, &p, ExecutionStrategy::AllInSram);
+            let rtmdm = isolated_latency(&s, &p, ExecutionStrategy::OverlappedPrefetch);
+            let naive = isolated_latency(&s, &p, ExecutionStrategy::FetchThenCompute);
+            assert!(ideal <= rtmdm, "{}", p.name);
+            assert!(rtmdm <= naive, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn ideal_memory_collapses_all_strategies() {
+        let s = seg(48 * 1024);
+        let p = PlatformConfig::ideal_sram();
+        let a = isolated_latency(&s, &p, ExecutionStrategy::AllInSram);
+        let b = isolated_latency(&s, &p, ExecutionStrategy::OverlappedPrefetch);
+        let c = isolated_latency(&s, &p, ExecutionStrategy::FetchThenCompute);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a, s.total_compute());
+    }
+
+    #[test]
+    fn overlapped_latency_is_at_least_compute_and_fetch_bounds() {
+        let s = seg(40 * 1024);
+        let p = PlatformConfig::stm32f746_qspi();
+        let l = isolated_latency(&s, &p, ExecutionStrategy::OverlappedPrefetch);
+        assert!(l >= s.total_compute());
+        // Total fetch time is also a lower bound (single DMA channel).
+        let total_fetch: Cycles = s
+            .segments
+            .iter()
+            .map(|x| p.ext_mem.transfer_cycles(x.fetch_bytes))
+            .sum();
+        assert!(l >= total_fetch);
+    }
+
+    #[test]
+    fn fetch_then_compute_is_exactly_sum_of_parts() {
+        let s = seg(40 * 1024);
+        let p = PlatformConfig::stm32f746_qspi();
+        let expected: Cycles = s
+            .segments
+            .iter()
+            .map(|x| p.ext_mem.transfer_cycles(x.fetch_bytes) + x.compute_cycles)
+            .sum();
+        assert_eq!(
+            isolated_latency(&s, &p, ExecutionStrategy::FetchThenCompute),
+            expected
+        );
+    }
+
+    #[test]
+    fn stage_timings_align_with_segments() {
+        let s = seg(40 * 1024);
+        let p = PlatformConfig::stm32f746_qspi();
+        for strategy in [
+            ExecutionStrategy::OverlappedPrefetch,
+            ExecutionStrategy::FetchThenCompute,
+            ExecutionStrategy::AllInSram,
+        ] {
+            let stages = stage_timings(&s, &p, strategy);
+            assert_eq!(stages.len(), s.len());
+            for (k, st) in stages.iter().enumerate() {
+                assert_eq!(st.segment, k);
+                assert!(st.stage >= st.compute_work);
+            }
+        }
+        // Last overlapped stage has no next fetch.
+        let stages = stage_timings(&s, &p, ExecutionStrategy::OverlappedPrefetch);
+        assert_eq!(stages.last().unwrap().fetch_work, Cycles::ZERO);
+    }
+
+    #[test]
+    fn overlap_efficiency_grows_with_segmentation() {
+        // A whole-model single segment has nothing to overlap: 0%.
+        let model = zoo::resnet8();
+        let whole =
+            segment_model(&model, &CostModel::cmsis_nn_m7(), model.total_weight_bytes())
+                .expect("plan");
+        let p = PlatformConfig::stm32f746_qspi();
+        assert_eq!(whole.len(), 1);
+        assert_eq!(overlap_efficiency_pct(&whole, &p), Some(0));
+        // Finer segmentation hides a meaningful fraction (the lead-in
+        // fetch of segment 0 can never be hidden, so 100% is unreachable).
+        let fine = seg(40 * 1024);
+        let eff = overlap_efficiency_pct(&fine, &p).expect("staging not free");
+        assert!(eff >= 30, "efficiency {eff}%");
+        // Ideal memory → undefined.
+        assert_eq!(overlap_efficiency_pct(&fine, &PlatformConfig::ideal_sram()), None);
+    }
+
+    #[test]
+    fn smaller_buffers_mean_more_but_smaller_stages() {
+        let coarse = seg(80 * 1024);
+        let fine = seg(40 * 1024);
+        assert!(fine.len() > coarse.len());
+        assert!(fine.max_segment_compute() <= coarse.max_segment_compute());
+    }
+
+    #[test]
+    fn display_names_strategies() {
+        assert_eq!(
+            ExecutionStrategy::OverlappedPrefetch.to_string(),
+            "overlapped-prefetch"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! An always-on smart sensor node — the workload the paper's title
+//! implies: multiple DNNs sharing one MCU whose weights live in external
+//! memory, alongside a tight-deadline control task. Compares RT-MDM
+//! against the whole-DNN run-to-completion baseline a stock TinyML
+//! runtime would give you — on a platform where staging actually hurts
+//! (200 MHz Cortex-M7, 40 MB/s QSPI flash).
+//!
+//! ```sh
+//! cargo run --release --example sensor_node
+//! ```
+
+use rt_mdm::core::{report, FrameworkOptions, RtMdm, Strategy, TaskSpec};
+use rt_mdm::dnn::zoo;
+use rt_mdm::mcusim::PlatformConfig;
+
+fn build(strategy: Option<Strategy>) -> Result<RtMdm, Box<dyn std::error::Error>> {
+    let platform = PlatformConfig::stm32f746_qspi();
+    let options = FrameworkOptions {
+        force_strategy: strategy,
+        ..FrameworkOptions::default()
+    };
+    let mut fw = RtMdm::with_options(platform, options)?;
+    // A 20 ms sensor-fusion / control step — the deadline that suffers
+    // when a big DNN hogs the CPU non-preemptively.
+    fw.add_task(TaskSpec::new("control", zoo::micro_mlp(), 20_000, 20_000))?;
+    // Keyword spotting every 100 ms.
+    fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))?;
+    // Visual wake word every 500 ms (≈75 ms of compute + 220 kB of
+    // weights staged from QSPI).
+    fw.add_task(TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000))?;
+    Ok(fw)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("workload: control @20ms + kws @100ms + vww @500ms on stm32f746-qspi\n");
+
+    let mut rows = Vec::new();
+    for (label, strategy) in [
+        ("rt-mdm", None),
+        ("whole-dnn (TinyML runtime)", Some(Strategy::WholeDnn)),
+        ("fetch-then-compute", Some(Strategy::FetchThenCompute)),
+    ] {
+        let fw = build(strategy)?;
+        let (admitted, util) = match fw.admit() {
+            Ok(a) => (
+                if a.schedulable() { "yes" } else { "NO" }.to_owned(),
+                report::ppm_as_pct(a.occupancy_ppm),
+            ),
+            // Whole-DNN staging needs the full 219 kB of vww weights
+            // resident at once — more than the 320 kB SRAM can spare.
+            Err(_) => ("NO (SRAM overflow)".to_owned(), "n/a".to_owned()),
+        };
+        let run = fw.simulate(5_000_000)?;
+        let ctl_resp = run
+            .max_response_of("control")
+            .map(|c| report::cycles_as_ms(c, run.cpu))
+            .unwrap_or_else(|| "n/a".into());
+        rows.push(vec![
+            label.to_owned(),
+            admitted,
+            util,
+            run.deadline_misses().to_string(),
+            ctl_resp,
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &[
+                "strategy",
+                "admitted",
+                "occupancy",
+                "misses (5 s)",
+                "control max response",
+            ],
+            &rows,
+        )
+    );
+    println!("expected shape: only rt-mdm both admits and runs clean; whole-dnn");
+    println!("blocks the 20 ms control task behind ~80 ms of staged inference.\n");
+
+    // Detail view of the RT-MDM run.
+    let fw = build(None)?;
+    let admission = fw.admit()?;
+    println!("rt-mdm admission:\n{}", admission.to_table());
+    let run = fw.simulate(5_000_000)?;
+    println!("rt-mdm per-task detail:\n{}", run.to_table());
+    Ok(())
+}

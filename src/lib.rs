@@ -1,0 +1,43 @@
+//! # rt-mdm — umbrella crate
+//!
+//! Reproduction of **RT-MDM: Real-Time Scheduling Framework for Multi-DNN
+//! on MCU Using External Memory** (DAC 2024).
+//!
+//! This crate re-exports the workspace crates under one namespace so that
+//! examples and integration tests can write `rt_mdm::core::RtMdm` instead
+//! of depending on five crates. Library users embedding individual pieces
+//! should depend on the member crates directly:
+//!
+//! - [`mcusim`] — discrete-event MCU platform simulator (CPU, DMA, bus).
+//! - [`dnn`] — int8 quantized DNN engine, model zoo, cost model.
+//! - [`xmem`] — external-memory staging: segmentation, double buffering,
+//!   prefetch pipeline timing.
+//! - [`sched`] — segmented real-time task model, schedulers,
+//!   schedulability analyses, priority assignment, task-set generation.
+//! - [`core`] — the RT-MDM framework: admission control + executor.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use rt_mdm::core::{RtMdm, TaskSpec};
+//! use rt_mdm::dnn::zoo;
+//! use rt_mdm::mcusim::PlatformConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = PlatformConfig::stm32f746_qspi();
+//! let mut framework = RtMdm::new(platform)?;
+//! framework.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))?;
+//! framework.add_task(TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000))?;
+//! let admission = framework.admit()?;
+//! assert!(admission.schedulable());
+//! let run = framework.simulate(2_000_000)?;
+//! assert_eq!(run.deadline_misses(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rtmdm_core as core;
+pub use rtmdm_dnn as dnn;
+pub use rtmdm_mcusim as mcusim;
+pub use rtmdm_sched as sched;
+pub use rtmdm_xmem as xmem;

@@ -1,0 +1,124 @@
+//! Property tests on the external-memory machinery: segmentation
+//! coverage, pipeline ordering, SRAM accounting, and whole-framework
+//! determinism.
+
+use proptest::prelude::*;
+
+use rt_mdm::core::{RtMdm, TaskSpec};
+use rt_mdm::dnn::{zoo, CostModel};
+use rt_mdm::mcusim::{Cycles, PlatformConfig};
+use rt_mdm::xmem::{pipeline, segment_model_capped, ExecutionStrategy, PlanError};
+
+fn zoo_model(idx: usize) -> rt_mdm::dnn::Model {
+    let all = zoo::all();
+    all[idx % all.len()].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Segmentation covers every layer exactly once, stays within the
+    /// buffer, and conserves bytes and compute — for any model, buffer
+    /// size, and compute cap.
+    #[test]
+    fn segmentation_invariants(
+        model_idx in 0usize..6,
+        buffer_kb in 1u64..256,
+        cap_kcycles in proptest::option::of(50u64..50_000),
+    ) {
+        let model = zoo_model(model_idx);
+        let cost = CostModel::cmsis_nn_m7();
+        let cap = cap_kcycles.map(|k| Cycles::new(k * 1000));
+        match segment_model_capped(&model, &cost, buffer_kb * 1024, cap) {
+            Err(PlanError::LayerTooLarge { bytes, buffer_bytes, .. }) => {
+                prop_assert!(bytes > buffer_bytes);
+                prop_assert!(model.max_layer_weight_bytes() == bytes || bytes <= model.max_layer_weight_bytes());
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Ok(seg) => {
+                // Coverage: consecutive, gapless, complete.
+                let mut next = 0usize;
+                for s in &seg.segments {
+                    prop_assert_eq!(s.first_layer, next);
+                    prop_assert!(s.last_layer >= s.first_layer);
+                    prop_assert!(s.fetch_bytes <= buffer_kb * 1024);
+                    next = s.last_layer + 1;
+                }
+                prop_assert_eq!(next, model.len());
+                // Conservation.
+                prop_assert_eq!(seg.total_fetch_bytes(), model.total_weight_bytes());
+                prop_assert_eq!(seg.total_compute(), cost.model_cost(&model).total_compute);
+            }
+        }
+    }
+
+    /// Strategy ordering of isolated latencies holds for any model,
+    /// buffer, and platform preset.
+    #[test]
+    fn pipeline_strategy_ordering(
+        model_idx in 0usize..6,
+        buffer_kb in 84u64..512, // large enough for every zoo model
+        preset in 0usize..4,
+    ) {
+        let model = zoo_model(model_idx);
+        let cost = CostModel::cmsis_nn_m7();
+        let platform = PlatformConfig::presets()[preset].clone();
+        let seg = segment_model_capped(&model, &cost, buffer_kb * 1024, None).expect("fits");
+        let ideal = pipeline::isolated_latency(&seg, &platform, ExecutionStrategy::AllInSram);
+        let rtmdm = pipeline::isolated_latency(&seg, &platform, ExecutionStrategy::OverlappedPrefetch);
+        let naive = pipeline::isolated_latency(&seg, &platform, ExecutionStrategy::FetchThenCompute);
+        prop_assert!(ideal <= rtmdm);
+        prop_assert!(rtmdm <= naive);
+        // Overlap can at best hide all staging beyond the lead-in.
+        prop_assert!(rtmdm >= seg.total_compute());
+    }
+
+    /// Tighter compute caps never increase the maximum segment compute.
+    #[test]
+    fn compute_cap_is_monotone(
+        model_idx in 0usize..6,
+        cap_a in 100u64..20_000,
+        cap_b in 100u64..20_000,
+    ) {
+        let model = zoo_model(model_idx);
+        let cost = CostModel::cmsis_nn_m7();
+        let (lo, hi) = if cap_a <= cap_b { (cap_a, cap_b) } else { (cap_b, cap_a) };
+        let seg_lo = segment_model_capped(&model, &cost, 1 << 20, Some(Cycles::new(lo * 1000)))
+            .expect("fits");
+        let seg_hi = segment_model_capped(&model, &cost, 1 << 20, Some(Cycles::new(hi * 1000)))
+            .expect("fits");
+        prop_assert!(seg_lo.len() >= seg_hi.len());
+        prop_assert!(seg_lo.max_segment_compute() <= seg_hi.max_segment_compute());
+    }
+}
+
+#[test]
+fn framework_runs_are_deterministic() {
+    let build = || {
+        let mut fw = RtMdm::new(PlatformConfig::stm32f746_qspi()).expect("platform");
+        fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("kws");
+        fw.add_task(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000))
+            .expect("ic");
+        fw
+    };
+    let a = build().simulate_with(2_000_000, 700_000, 9).expect("run");
+    let b = build().simulate_with(2_000_000, 700_000, 9).expect("run");
+    assert_eq!(a.result.trace.events(), b.result.trace.events());
+    assert_eq!(a.result.stats, b.result.stats);
+    // A different seed changes the jittered run.
+    let c = build().simulate_with(2_000_000, 700_000, 10).expect("run");
+    assert_ne!(a.result.trace.events(), c.result.trace.events());
+}
+
+#[test]
+fn admission_is_pure() {
+    let mut fw = RtMdm::new(PlatformConfig::stm32f746_qspi()).expect("platform");
+    fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+        .expect("kws");
+    let a = fw.admit().expect("admit");
+    let b = fw.admit().expect("admit");
+    assert_eq!(a.order, b.order);
+    assert_eq!(a.analysis.response, b.analysis.response);
+    assert_eq!(a.occupancy_ppm, b.occupancy_ppm);
+}

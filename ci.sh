@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: the exact gate .github/workflows/ci.yml runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy =="
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "CI green."

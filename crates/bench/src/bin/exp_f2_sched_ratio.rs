@@ -1,4 +1,7 @@
 //! Regenerates experiment `f2_sched_ratio` (see DESIGN.md §4).
 fn main() {
-    rtmdm_bench::emit("f2_sched_ratio", &rtmdm_bench::experiments::f2_sched_ratio());
+    rtmdm_bench::emit(
+        "f2_sched_ratio",
+        &rtmdm_bench::experiments::f2_sched_ratio(),
+    );
 }

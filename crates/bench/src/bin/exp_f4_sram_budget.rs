@@ -1,4 +1,7 @@
 //! Regenerates experiment `f4_sram_budget` (see DESIGN.md §4).
 fn main() {
-    rtmdm_bench::emit("f4_sram_budget", &rtmdm_bench::experiments::f4_sram_budget());
+    rtmdm_bench::emit(
+        "f4_sram_budget",
+        &rtmdm_bench::experiments::f4_sram_budget(),
+    );
 }

@@ -1,18 +1,37 @@
-//! Regenerates every table and figure of the evaluation in one go.
-use rtmdm_bench::{emit, experiments as e};
+//! Regenerates every table and figure of the evaluation in one go,
+//! reporting per-experiment wall time. Worker count comes from
+//! `RTMDM_THREADS` (default: available parallelism); the emitted tables
+//! are byte-identical for any thread count.
+use std::time::Instant;
+
+use rtmdm_bench::{emit, experiments as e, par};
+
+type Experiment = (&'static str, fn() -> String);
 
 fn main() {
-    emit("t1_models", &e::t1_models());
-    emit("t2_platforms", &e::t2_platforms());
-    emit("t3_wcrt", &e::t3_wcrt());
-    emit("f1_latency", &e::f1_latency());
-    emit("f2_sched_ratio", &e::f2_sched_ratio());
-    emit("f3_miss_ratio", &e::f3_miss_ratio());
-    emit("f4_sram_budget", &e::f4_sram_budget());
-    emit("f5_bandwidth", &e::f5_bandwidth());
-    emit("f6_blocking", &e::f6_blocking());
-    emit("f7_opa", &e::f7_opa());
-    emit("f8_ablation", &e::f8_ablation());
-    emit("f9_energy", &e::f9_energy());
-    emit("f10_platforms", &e::f10_platforms());
+    let experiments: [Experiment; 13] = [
+        ("t1_models", e::t1_models),
+        ("t2_platforms", e::t2_platforms),
+        ("t3_wcrt", e::t3_wcrt),
+        ("f1_latency", e::f1_latency),
+        ("f2_sched_ratio", e::f2_sched_ratio),
+        ("f3_miss_ratio", e::f3_miss_ratio),
+        ("f4_sram_budget", e::f4_sram_budget),
+        ("f5_bandwidth", e::f5_bandwidth),
+        ("f6_blocking", e::f6_blocking),
+        ("f7_opa", e::f7_opa),
+        ("f8_ablation", e::f8_ablation),
+        ("f9_energy", e::f9_energy),
+        ("f10_platforms", e::f10_platforms),
+    ];
+    println!("run_all: {} workers", par::num_threads());
+    let total = Instant::now();
+    for (id, run) in experiments {
+        let start = Instant::now();
+        let output = run();
+        let elapsed = start.elapsed();
+        emit(id, &output);
+        println!("-- {id}: {:.2}s", elapsed.as_secs_f64());
+    }
+    println!("run_all total: {:.2}s", total.elapsed().as_secs_f64());
 }

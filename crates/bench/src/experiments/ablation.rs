@@ -1,7 +1,12 @@
 //! Figure F8 — ablation: switch RT-MDM's mechanisms off one at a time.
+//!
+//! Each ablation variant is an independent cell for
+//! [`par_map_seeded`]; rows come back in input order.
 
 use rtmdm_core::{report, FrameworkOptions, RtMdm, Strategy, TaskSpec};
 use rtmdm_dnn::zoo;
+
+use crate::par::par_map_seeded;
 
 use super::{eval_platform, ms};
 
@@ -15,8 +20,6 @@ use super::{eval_platform, ms};
 ///    unchanged, so watch the admitted-vs-missed columns);
 /// 5. − gating (work-conserving dispatch with its matching analysis).
 pub fn f8_ablation() -> String {
-    let platform = eval_platform();
-    let cpu = platform.cpu;
     let variants: Vec<(&str, FrameworkOptions)> = vec![
         ("full rt-mdm", FrameworkOptions::default()),
         (
@@ -49,15 +52,21 @@ pub fn f8_ablation() -> String {
         ),
     ];
 
-    let mut rows = Vec::new();
-    for (label, options) in variants {
+    let rows = par_map_seeded(variants, |(label, options)| {
+        let platform = eval_platform();
+        let cpu = platform.cpu;
         let mut fw = RtMdm::with_options(platform.clone(), options).expect("platform");
         fw.add_task(TaskSpec::new("control", zoo::micro_mlp(), 20_000, 20_000))
             .expect("control");
         fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
             .expect("kws");
-        fw.add_task(TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000))
-            .expect("vww");
+        fw.add_task(TaskSpec::new(
+            "vww",
+            zoo::mobilenet_v1_025(),
+            500_000,
+            500_000,
+        ))
+        .expect("vww");
         let admitted = match fw.admit() {
             Ok(a) if a.schedulable() => "yes".to_owned(),
             Ok(_) => "NO (timing)".to_owned(),
@@ -75,8 +84,8 @@ pub fn f8_ablation() -> String {
             ),
             Err(_) => ("n/a".into(), "n/a".into(), "n/a".into()),
         };
-        rows.push(vec![label.to_owned(), admitted, misses, control, vww]);
-    }
+        vec![label.to_owned(), admitted, misses, control, vww]
+    });
     report::table(
         &[
             "variant",

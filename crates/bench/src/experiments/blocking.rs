@@ -1,7 +1,12 @@
 //! Figure F6 — non-preemptive blocking vs segmentation granularity.
+//!
+//! Each segmentation configuration is an independent cell for
+//! [`par_map_seeded`]; rows come back in input order.
 
 use rtmdm_core::{report, FrameworkOptions, RtMdm, Strategy, TaskSpec};
 use rtmdm_dnn::zoo;
+
+use crate::par::par_map_seeded;
 
 use super::{eval_platform, ms};
 
@@ -12,10 +17,6 @@ use super::{eval_platform, ms};
 /// resnet8's largest indivisible layer (≈15 ms of compute); intra-layer
 /// tiling then tracks the cap all the way down.
 pub fn f6_blocking() -> String {
-    let platform = eval_platform();
-    let cpu = platform.cpu;
-    let mut rows = Vec::new();
-
     // (label, forced strategy, cap µs, intra-layer tiling)
     let configs: Vec<(&str, Option<Strategy>, Option<u64>, bool)> = vec![
         ("whole-dnn", Some(Strategy::WholeDnn), None, false),
@@ -27,7 +28,9 @@ pub fn f6_blocking() -> String {
         ("cap 2.5 ms + tiling", None, Some(2_500), true),
         ("cap 1 ms + tiling", None, Some(1_000), true),
     ];
-    for (label, strategy, cap_us, tiling) in configs {
+    let rows = par_map_seeded(configs, |(label, strategy, cap_us, tiling)| {
+        let platform = eval_platform();
+        let cpu = platform.cpu;
         let options = FrameworkOptions {
             force_strategy: strategy,
             segment_compute_cap_us: cap_us,
@@ -41,7 +44,11 @@ pub fn f6_blocking() -> String {
             .expect("ic");
         let (admitted, bound, segments, max_seg) = match fw.admit() {
             Ok(a) => {
-                let idx = a.names.iter().position(|n| n == "control").expect("present");
+                let idx = a
+                    .names
+                    .iter()
+                    .position(|n| n == "control")
+                    .expect("present");
                 // Plans are in insertion order; "ic" was added second.
                 // Under the whole-DNN strategy the plan's segments are
                 // merged into one block at task-build time.
@@ -62,22 +69,27 @@ pub fn f6_blocking() -> String {
                     ms(max_block, cpu),
                 )
             }
-            Err(_) => ("NO (sram)", "n/a".to_owned(), "-".to_owned(), "-".to_owned()),
+            Err(_) => (
+                "NO (sram)",
+                "n/a".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+            ),
         };
         let observed = fw
             .simulate(5_000_000)
             .ok()
             .and_then(|r| r.max_response_of("control").map(|c| ms(c, cpu)))
             .unwrap_or_else(|| "n/a".to_owned());
-        rows.push(vec![
+        vec![
             label.to_owned(),
             segments,
             max_seg,
             bound,
             observed,
             admitted.to_owned(),
-        ]);
-    }
+        ]
+    });
     report::table(
         &[
             "segmentation",

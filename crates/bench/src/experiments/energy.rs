@@ -4,11 +4,14 @@
 //! on its DMA, and overlapped prefetch keeps staging off the CPU
 //! entirely; busy-wait staging (B1/B2) burns active-CPU energy for every
 //! staged byte. This experiment accounts a 5-second run of the
-//! sensor-node mix under each strategy.
+//! sensor-node mix under each strategy; the four strategy runs are
+//! independent cells for [`par_map_seeded`].
 
 use rtmdm_core::{report, FrameworkOptions, RtMdm, Strategy, TaskSpec};
 use rtmdm_dnn::zoo;
 use rtmdm_mcusim::EnergyModel;
+
+use crate::par::par_map_seeded;
 
 use super::eval_platform;
 
@@ -21,16 +24,16 @@ use super::eval_platform;
 /// external-memory energy is identical for every staging strategy
 /// (same bytes), so the CPU term decides.
 pub fn f9_energy() -> String {
-    let platform = eval_platform();
-    let energy = EnergyModel::stm32f7();
-    let horizon_us = 5_000_000u64;
-    let mut rows = Vec::new();
-    for (label, strategy) in [
+    let strategies = vec![
         ("rt-mdm", Strategy::RtMdm),
         ("fetch-then-compute (B1)", Strategy::FetchThenCompute),
         ("whole-dnn (B2)", Strategy::WholeDnn),
         ("all-in-sram (B3)", Strategy::AllInSram),
-    ] {
+    ];
+    let rows = par_map_seeded(strategies, |(label, strategy)| {
+        let platform = eval_platform();
+        let energy = EnergyModel::stm32f7();
+        let horizon_us = 5_000_000u64;
         let options = FrameworkOptions {
             force_strategy: Some(strategy),
             ..FrameworkOptions::default()
@@ -40,8 +43,13 @@ pub fn f9_energy() -> String {
             .expect("control");
         fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
             .expect("kws");
-        fw.add_task(TaskSpec::new("anomaly", zoo::autoencoder(), 100_000, 100_000))
-            .expect("anomaly");
+        fw.add_task(TaskSpec::new(
+            "anomaly",
+            zoo::autoencoder(),
+            100_000,
+            100_000,
+        ))
+        .expect("anomaly");
         let run = fw.simulate(horizon_us).expect("simulate");
         let mut r = run.energy(&energy);
         // Busy-wait strategies hide their staged bytes inside compute;
@@ -64,7 +72,7 @@ pub fn f9_energy() -> String {
                 .sum();
             r.ext_mem_pj = bytes * energy.ext_read_pj_per_byte;
         }
-        rows.push(vec![
+        vec![
             label.to_owned(),
             (r.cpu_active_pj / 1_000_000).to_string(),
             (r.cpu_idle_pj / 1_000_000).to_string(),
@@ -72,8 +80,8 @@ pub fn f9_energy() -> String {
             r.total_uj().to_string(),
             run.energy(&energy).avg_power_uw(platform.cpu).to_string(),
             run.deadline_misses().to_string(),
-        ]);
-    }
+        ]
+    });
     report::table(
         &[
             "strategy",

@@ -1,8 +1,13 @@
 //! Figure F10 — the same workload across platform classes.
+//!
+//! Each platform preset is an independent cell for [`par_map_seeded`];
+//! rows come back in preset order.
 
 use rtmdm_core::{report, RtMdm, TaskSpec};
 use rtmdm_dnn::zoo;
 use rtmdm_mcusim::PlatformConfig;
+
+use crate::par::par_map_seeded;
 
 use super::ms;
 
@@ -12,15 +17,19 @@ use super::ms;
 /// coasts; the ideal-SRAM control isolates the cost of external memory
 /// on the F746 (same CPU).
 pub fn f10_platforms() -> String {
-    let mut rows = Vec::new();
-    for platform in PlatformConfig::presets() {
+    let rows = par_map_seeded(PlatformConfig::presets(), |platform| {
         let name = platform.name.clone();
         let cpu = platform.cpu;
         let mut fw = match RtMdm::new(platform) {
             Ok(fw) => fw,
             Err(e) => {
-                rows.push(vec![name, format!("invalid: {e}"), String::new(), String::new(), String::new()]);
-                continue;
+                return vec![
+                    name,
+                    format!("invalid: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]
             }
         };
         let added = fw
@@ -28,14 +37,13 @@ pub fn f10_platforms() -> String {
             .and_then(|()| fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000)))
             .and_then(|()| fw.add_task(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000)));
         if let Err(e) = added {
-            rows.push(vec![
+            return vec![
                 name,
                 format!("rejected: {e}"),
                 String::new(),
                 String::new(),
                 String::new(),
-            ]);
-            continue;
+            ];
         }
         match fw.admit() {
             Ok(a) => {
@@ -49,23 +57,23 @@ pub fn f10_platforms() -> String {
                     ),
                     Err(_) => ("n/a".into(), "n/a".into()),
                 };
-                rows.push(vec![
+                vec![
                     name,
                     verdict.to_owned(),
                     report::ppm_as_pct(a.occupancy_ppm),
                     misses,
                     control,
-                ]);
+                ]
             }
-            Err(e) => rows.push(vec![
+            Err(e) => vec![
                 name,
                 format!("rejected: {e}"),
                 String::new(),
                 String::new(),
                 String::new(),
-            ]),
+            ],
         }
-    }
+    });
     report::table(
         &[
             "platform",

@@ -1,5 +1,9 @@
 //! Figures F2 (schedulability ratio), F3 (simulated miss behaviour),
 //! and F7 (priority-assignment comparison).
+//!
+//! Each sweep expands its `(utilization, seed)` grid into cells for
+//! [`par_map_seeded`]; results come back in input order, so the fold
+//! into per-utilization rows reproduces the serial loop byte for byte.
 
 use rtmdm_core::report;
 use rtmdm_sched::analysis::{
@@ -11,6 +15,8 @@ use rtmdm_sched::baseline;
 use rtmdm_sched::gen::{generate, TasksetParams};
 use rtmdm_sched::sim::{simulate, Policy, SimConfig};
 use rtmdm_sched::TaskSet;
+
+use crate::par::par_map_seeded;
 
 use super::{eval_platform, pct};
 
@@ -53,6 +59,30 @@ fn admit(ts: &TaskSet, which: usize) -> bool {
     }
 }
 
+/// Expands a `utils × seeds` grid into cells and folds the per-cell
+/// results back into one row of counts per utilization.
+fn sweep_grid<R, F, A>(utils: &[u64], sets: u32, cell: F) -> Vec<(u64, A)>
+where
+    R: Send,
+    F: Fn(u64, u32) -> R + Sync,
+    A: Default,
+    A: Extend<R>,
+{
+    let cells: Vec<(u64, u32)> = utils
+        .iter()
+        .flat_map(|&u| (0..sets).map(move |s| (u, s)))
+        .collect();
+    let results = par_map_seeded(cells, |(util, seed)| cell(util, seed));
+    let mut folded = Vec::with_capacity(utils.len());
+    let mut it = results.into_iter();
+    for &util in utils {
+        let mut acc = A::default();
+        acc.extend(it.by_ref().take(sets as usize));
+        folded.push((util, acc));
+    }
+    folded
+}
+
 /// F2 — fraction of random task sets each admission test accepts, per
 /// total compute utilization. Expected shape: gated rt-mdm dominates B1
 /// and B2 everywhere; work-conserving trades blocking for interference
@@ -60,15 +90,21 @@ fn admit(ts: &TaskSet, which: usize) -> bool {
 /// highest — and F3 shows why that is not a virtue.
 pub fn f2_sched_ratio() -> String {
     const SETS: u32 = 300;
+    let utils = [5u64, 10, 15, 20, 25, 30, 40, 50, 60];
+    let per_util: Vec<(u64, Vec<[bool; 5]>)> = sweep_grid(&utils, SETS, |util, seed| {
+        let ts = generate(&params(4, util), &eval_platform(), u64::from(seed));
+        let mut verdicts = [false; 5];
+        for (i, v) in verdicts.iter_mut().enumerate() {
+            *v = admit(&ts, i);
+        }
+        verdicts
+    });
     let mut rows = Vec::new();
-    for util in [5u64, 10, 15, 20, 25, 30, 40, 50, 60] {
+    for (util, verdicts) in per_util {
         let mut accepted = [0u32; 5];
-        for seed in 0..SETS {
-            let ts = generate(&params(4, util), &eval_platform(), u64::from(seed));
-            for (i, acc) in accepted.iter_mut().enumerate() {
-                if admit(&ts, i) {
-                    *acc += 1;
-                }
+        for v in &verdicts {
+            for (acc, &ok) in accepted.iter_mut().zip(v) {
+                *acc += u32::from(ok);
             }
         }
         let mut row = vec![format!("{util}%")];
@@ -85,27 +121,21 @@ pub fn f2_sched_ratio() -> String {
     // on true sporadic schedulability). The gap between the two curves
     // is the analysis's pessimism.
     const SETS2: u32 = 120;
+    let utils2 = [10u64, 20, 30, 40, 50, 60, 70];
+    let per_util2: Vec<(u64, Vec<(bool, bool)>)> = sweep_grid(&utils2, SETS2, |util, seed| {
+        let prm = params(4, util).with_grid_periods();
+        let ts = generate(&prm, &eval_platform(), u64::from(seed));
+        let ordered = ts.reordered(&dm_order(&ts));
+        let analytical = rta_limited_preemption(&ordered, &eval_platform()).schedulable;
+        let empirical =
+            sync_simulation_accepts(&ordered, &eval_platform(), Policy::FixedPriority, false)
+                == Some(true);
+        (analytical, empirical)
+    });
     let mut rows2 = Vec::new();
-    for util in [10u64, 20, 30, 40, 50, 60, 70] {
-        let mut analytical = 0u32;
-        let mut empirical = 0u32;
-        for seed in 0..SETS2 {
-            let prm = params(4, util).with_grid_periods();
-            let ts = generate(&prm, &eval_platform(), u64::from(seed));
-            let ordered = ts.reordered(&dm_order(&ts));
-            if rta_limited_preemption(&ordered, &eval_platform()).schedulable {
-                analytical += 1;
-            }
-            if sync_simulation_accepts(
-                &ordered,
-                &eval_platform(),
-                Policy::FixedPriority,
-                false,
-            ) == Some(true)
-            {
-                empirical += 1;
-            }
-        }
+    for (util, verdicts) in per_util2 {
+        let analytical = verdicts.iter().map(|&(a, _)| u32::from(a)).sum::<u32>();
+        let empirical = verdicts.iter().map(|&(_, e)| u32::from(e)).sum::<u32>();
         rows2.push(vec![
             format!("{util}%"),
             pct(analytical, SETS2),
@@ -123,6 +153,17 @@ pub fn f2_sched_ratio() -> String {
     format!("{main}\nanalysis vs empirical acceptance (grid periods):\n{second}")
 }
 
+/// Per-cell outcome of the F3 sweep.
+struct MissCell {
+    /// Admitted by gated / B1 / memory-oblivious analysis.
+    admitted: [bool; 3],
+    /// ... and then missed a deadline in simulation.
+    missed: [bool; 3],
+    /// Jobs released / missed under the gated runtime.
+    jobs_total: u64,
+    jobs_missed: u64,
+}
+
 /// F3 — what actually happens on the platform: per policy, the fraction
 /// of *admitted* sets that then miss a deadline in simulation (must be 0
 /// for every sound analysis, and is decidedly not 0 for the
@@ -130,47 +171,56 @@ pub fn f2_sched_ratio() -> String {
 /// every set is run regardless of admission.
 pub fn f3_miss_ratio() -> String {
     const SETS: u32 = 100;
-    let p = eval_platform();
+    let utils = [10u64, 20, 30, 40, 50];
+    let per_util: Vec<(u64, Vec<MissCell>)> = sweep_grid(&utils, SETS, |util, seed| {
+        let p = eval_platform();
+        let ts = generate(&params(4, util), &p, u64::from(seed));
+        let ordered = ts.reordered(&dm_order(&ts));
+        let horizon = ordered.tasks().iter().map(|t| t.period).max().unwrap() * 4;
+        let config = SimConfig::new(horizon, Policy::FixedPriority);
+
+        let mut cell = MissCell {
+            admitted: [false; 3],
+            missed: [false; 3],
+            jobs_total: 0,
+            jobs_missed: 0,
+        };
+
+        // Gated rt-mdm.
+        let run = simulate(&ordered, &p, &config);
+        cell.jobs_total = run.stats.iter().map(|s| s.releases).sum::<u64>();
+        cell.jobs_missed = run.total_misses();
+        if rta_limited_preemption(&ordered, &p).schedulable {
+            cell.admitted[0] = true;
+            cell.missed[0] = run.total_misses() > 0;
+        }
+        // B1.
+        let b1 = baseline::transform_set(&ordered, |t| baseline::fetch_then_compute(t, &p));
+        if rta_limited_preemption(&b1, &p).schedulable {
+            cell.admitted[1] = true;
+            cell.missed[1] = simulate(&b1, &p, &config).total_misses() > 0;
+        }
+        // B4: memory-oblivious admission, reality-check on the real
+        // platform semantics (gated runtime).
+        if rta_memory_oblivious(&ordered, &p).schedulable {
+            cell.admitted[2] = true;
+            cell.missed[2] = run.total_misses() > 0;
+        }
+        cell
+    });
     let mut rows = Vec::new();
-    for util in [10u64, 20, 30, 40, 50] {
-        // Columns: admitted-then-missed for gated / B1 / oblivious, and
-        // raw job miss ratio under the gated runtime.
+    for (util, cells) in per_util {
         let mut admitted = [0u32; 3];
         let mut admitted_missed = [0u32; 3];
         let mut jobs_total = 0u64;
         let mut jobs_missed = 0u64;
-        for seed in 0..SETS {
-            let ts = generate(&params(4, util), &p, u64::from(seed));
-            let ordered = ts.reordered(&dm_order(&ts));
-            let horizon = ordered.tasks().iter().map(|t| t.period).max().unwrap() * 4;
-            let config = SimConfig::new(horizon, Policy::FixedPriority);
-
-            // Gated rt-mdm.
-            let run = simulate(&ordered, &p, &config);
-            jobs_total += run.stats.iter().map(|s| s.releases).sum::<u64>();
-            jobs_missed += run.total_misses();
-            if rta_limited_preemption(&ordered, &p).schedulable {
-                admitted[0] += 1;
-                if run.total_misses() > 0 {
-                    admitted_missed[0] += 1;
-                }
+        for c in &cells {
+            for i in 0..3 {
+                admitted[i] += u32::from(c.admitted[i]);
+                admitted_missed[i] += u32::from(c.admitted[i] && c.missed[i]);
             }
-            // B1.
-            let b1 = baseline::transform_set(&ordered, |t| baseline::fetch_then_compute(t, &p));
-            if rta_limited_preemption(&b1, &p).schedulable {
-                admitted[1] += 1;
-                if simulate(&b1, &p, &config).total_misses() > 0 {
-                    admitted_missed[1] += 1;
-                }
-            }
-            // B4: memory-oblivious admission, reality-check on the real
-            // platform semantics (gated runtime).
-            if rta_memory_oblivious(&ordered, &p).schedulable {
-                admitted[2] += 1;
-                if run.total_misses() > 0 {
-                    admitted_missed[2] += 1;
-                }
-            }
+            jobs_total += c.jobs_total;
+            jobs_missed += c.jobs_missed;
         }
         rows.push(vec![
             format!("{util}%"),
@@ -200,22 +250,24 @@ pub fn f3_miss_ratio() -> String {
 /// OPA ≥ DM ≥ RM at every utilization.
 pub fn f7_opa() -> String {
     const SETS: u32 = 300;
-    let p = eval_platform();
+    let utils = [25u64, 35, 45, 55, 65, 75];
+    let per_util: Vec<(u64, Vec<[bool; 3]>)> = sweep_grid(&utils, SETS, |util, seed| {
+        let p = eval_platform();
+        let mut prm = params(4, util);
+        prm.deadline_factor_range_ppm = (500_000, 1_000_000);
+        let ts = generate(&prm, &p, u64::from(seed));
+        [
+            rta_limited_preemption(&ts.reordered(&rm_order(&ts)), &p).schedulable,
+            rta_limited_preemption(&ts.reordered(&dm_order(&ts)), &p).schedulable,
+            audsley(&ts, &p).is_some(),
+        ]
+    });
     let mut rows = Vec::new();
-    for util in [25u64, 35, 45, 55, 65, 75] {
+    for (util, verdicts) in per_util {
         let mut wins = [0u32; 3];
-        for seed in 0..SETS {
-            let mut prm = params(4, util);
-            prm.deadline_factor_range_ppm = (500_000, 1_000_000);
-            let ts = generate(&prm, &p, u64::from(seed));
-            if rta_limited_preemption(&ts.reordered(&rm_order(&ts)), &p).schedulable {
-                wins[0] += 1;
-            }
-            if rta_limited_preemption(&ts.reordered(&dm_order(&ts)), &p).schedulable {
-                wins[1] += 1;
-            }
-            if audsley(&ts, &p).is_some() {
-                wins[2] += 1;
+        for v in &verdicts {
+            for (w, &ok) in wins.iter_mut().zip(v) {
+                *w += u32::from(ok);
             }
         }
         rows.push(vec![

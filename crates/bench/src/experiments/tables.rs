@@ -1,35 +1,37 @@
 //! Tables T1 (models), T2 (platforms), and T3 (WCRT bound vs observed).
+//!
+//! T1 parallelizes per model and T3 per mix via [`par_map_seeded`]
+//! (T2 is pure formatting); rows come back in input order.
 
 use rtmdm_core::{report, RtMdm, TaskSpec};
 use rtmdm_dnn::{zoo, CostModel};
 use rtmdm_mcusim::PlatformConfig;
 use rtmdm_xmem::segment_model;
 
+use crate::par::par_map_seeded;
+
 use super::{eval_platform, ms};
 
 /// T1 — model characteristics: the workload side of the study.
 pub fn t1_models() -> String {
-    let cost = CostModel::cmsis_nn_m7();
-    let platform = eval_platform();
-    let rows: Vec<Vec<String>> = zoo::all()
-        .iter()
-        .map(|m| {
-            let min_buffer = m.max_layer_weight_bytes().max(1).div_ceil(4096) * 4096;
-            let seg = segment_model(m, &cost, min_buffer).expect("min buffer fits by construction");
-            let compute = cost.model_cost(m).total_compute;
-            vec![
-                m.name().to_owned(),
-                m.len().to_string(),
-                (m.total_macs() / 1000).to_string(),
-                (m.total_weight_bytes() / 1024).to_string(),
-                (m.max_layer_weight_bytes() / 1024).to_string(),
-                (m.max_activation_bytes() / 1024).to_string(),
-                (min_buffer / 1024).to_string(),
-                seg.len().to_string(),
-                ms(compute, platform.cpu),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = par_map_seeded(zoo::all(), |m| {
+        let cost = CostModel::cmsis_nn_m7();
+        let platform = eval_platform();
+        let min_buffer = m.max_layer_weight_bytes().max(1).div_ceil(4096) * 4096;
+        let seg = segment_model(&m, &cost, min_buffer).expect("min buffer fits by construction");
+        let compute = cost.model_cost(&m).total_compute;
+        vec![
+            m.name().to_owned(),
+            m.len().to_string(),
+            (m.total_macs() / 1000).to_string(),
+            (m.total_weight_bytes() / 1024).to_string(),
+            (m.max_layer_weight_bytes() / 1024).to_string(),
+            (m.max_activation_bytes() / 1024).to_string(),
+            (min_buffer / 1024).to_string(),
+            seg.len().to_string(),
+            ms(compute, platform.cpu),
+        ]
+    });
     report::table(
         &[
             "model",
@@ -123,8 +125,7 @@ pub fn t3_wcrt() -> String {
         ),
     ];
 
-    let mut rows = Vec::new();
-    for (label, platform, specs) in mixes {
+    let per_mix: Vec<Vec<Vec<String>>> = par_map_seeded(mixes, |(label, platform, specs)| {
         let cpu = platform.cpu;
         let mut fw = RtMdm::new(platform).expect("platform");
         for s in specs {
@@ -132,6 +133,7 @@ pub fn t3_wcrt() -> String {
         }
         let admission = fw.admit().expect("admit");
         let run = fw.simulate(10_000_000).expect("simulate 10 s");
+        let mut rows = Vec::new();
         for (p, name) in admission.names.iter().enumerate() {
             let bound = admission.analysis.response_of(p);
             let observed = run.max_response_of(name).expect("ran");
@@ -159,9 +161,18 @@ pub fn t3_wcrt() -> String {
                 },
             ]);
         }
-    }
+        rows
+    });
+    let rows: Vec<Vec<String>> = per_mix.into_iter().flatten().collect();
     report::table(
-        &["mix", "task", "wcrt bound ms", "observed max ms", "bound/obs", "dominates"],
+        &[
+            "mix",
+            "task",
+            "wcrt bound ms",
+            "observed max ms",
+            "bound/obs",
+            "dominates",
+        ],
         &rows,
     )
 }

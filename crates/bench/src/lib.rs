@@ -10,8 +10,14 @@
 //! ```sh
 //! cargo run -p rtmdm-bench --release --bin run_all
 //! ```
+//!
+//! Sweeps run their `(parameter, seed)` cells on a scoped worker pool
+//! (see [`par`]); set `RTMDM_THREADS` to pin the worker count
+//! (`RTMDM_THREADS=1` forces the plain serial path). Emitted tables are
+//! byte-identical for any thread count.
 
 pub mod experiments;
+pub mod par;
 
 use std::fs;
 use std::path::PathBuf;

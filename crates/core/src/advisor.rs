@@ -125,7 +125,10 @@ mod tests {
         let outcome = fw().optimize().expect("search").expect("admissible");
         assert_eq!(outcome.strategies.len(), 3);
         assert!(outcome.admissible_count >= 1);
-        assert!(outcome.scaling_ppm >= 1_000_000, "chosen config has headroom");
+        assert!(
+            outcome.scaling_ppm >= 1_000_000,
+            "chosen config has headroom"
+        );
         // The tiny control model is cheaper resident than with an 8 KiB
         // double buffer.
         assert_eq!(outcome.strategies[0], Strategy::AllInSram);

@@ -127,7 +127,10 @@ fn cmd_platforms() -> ExitCode {
             ]
         })
         .collect();
-    println!("{}", report::table(&["platform", "cpu", "sram", "ext-mem"], &rows));
+    println!(
+        "{}",
+        report::table(&["platform", "cpu", "sram", "ext-mem"], &rows)
+    );
     ExitCode::SUCCESS
 }
 
@@ -143,7 +146,10 @@ fn cmd_models() -> ExitCode {
             ]
         })
         .collect();
-    println!("{}", report::table(&["model", "layers", "weights", "MACs"], &rows));
+    println!(
+        "{}",
+        report::table(&["model", "layers", "weights", "MACs"], &rows)
+    );
     ExitCode::SUCCESS
 }
 

@@ -6,8 +6,8 @@ use rtmdm_dnn::CostModel;
 use rtmdm_mcusim::{Cycles, PlatformConfig};
 use rtmdm_mcusim::{EnergyModel, EnergyReport};
 use rtmdm_sched::analysis::{
-    edf_demand_test, occupancy_utilization_ppm, rta_limited_preemption_with,
-    rta_memory_oblivious, AnalysisOutcome, SchedulerMode,
+    edf_demand_test, occupancy_utilization_ppm, rta_limited_preemption_with, rta_memory_oblivious,
+    AnalysisOutcome, SchedulerMode,
 };
 use rtmdm_sched::assign::{audsley, dm_order, rm_order};
 use rtmdm_sched::baseline;
@@ -252,8 +252,7 @@ impl RtMdm {
             if let Some(budget) = spec.activation_budget_bytes {
                 let spill = rtmdm_xmem::spill::plan_spill(&spec.model, budget);
                 for &layer in &spill.spilled_layers {
-                    let extra =
-                        2 * spec.model.nodes()[layer].out_shape.len() as u64;
+                    let extra = 2 * spec.model.nodes()[layer].out_shape.len() as u64;
                     if let Some(s) = seg
                         .segments
                         .iter_mut()
@@ -304,20 +303,20 @@ impl RtMdm {
     /// Plans SRAM for the task set, honouring each task's strategy.
     fn plan_sram(&self) -> Result<Vec<SramRow>, AdmitError> {
         let mut arena = SramArena::new(self.platform.sram_bytes);
-        arena.alloc("runtime-reserve", rtmdm_xmem::SramLayout::RUNTIME_RESERVE, 8)?;
+        arena.alloc(
+            "runtime-reserve",
+            rtmdm_xmem::SramLayout::RUNTIME_RESERVE,
+            8,
+        )?;
         let mut rows = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
             let act = spec.resolved_activation_bytes();
             arena.alloc(format!("{}-activations", spec.name), act, 8)?;
             let weights = match self.strategy_of(spec) {
-                Strategy::RtMdm | Strategy::FetchThenCompute => {
-                    2 * spec.resolved_buffer_bytes()
-                }
+                Strategy::RtMdm | Strategy::FetchThenCompute => 2 * spec.resolved_buffer_bytes(),
                 // Whole-DNN staging and resident weights both need the
                 // full parameter footprint at once.
-                Strategy::WholeDnn | Strategy::AllInSram => {
-                    spec.model.total_weight_bytes().max(1)
-                }
+                Strategy::WholeDnn | Strategy::AllInSram => spec.model.total_weight_bytes().max(1),
             };
             arena.alloc(format!("{}-weights", spec.name), weights, 8)?;
             rows.push(SramRow {
@@ -555,7 +554,14 @@ impl RunReport {
             })
             .collect();
         report::table(
-            &["task", "released", "completed", "misses", "max-response", "preempted"],
+            &[
+                "task",
+                "released",
+                "completed",
+                "misses",
+                "max-response",
+                "preempted",
+            ],
             &rows,
         )
     }
@@ -605,7 +611,10 @@ mod tests {
                     .with_buffer_bytes(4 * 1024),
             )
             .unwrap_err();
-        assert!(matches!(err, AdmitError::Memory(PlanError::LayerTooLarge { .. })));
+        assert!(matches!(
+            err,
+            AdmitError::Memory(PlanError::LayerTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -661,7 +670,10 @@ mod tests {
             .expect("add");
         let run = f.simulate(500_000).expect("simulate");
         // Whole-DNN: exactly one segment per job → no preemptions ever.
-        assert_eq!(run.result.stats.iter().map(|s| s.preemptions).sum::<u64>(), 0);
+        assert_eq!(
+            run.result.stats.iter().map(|s| s.preemptions).sum::<u64>(),
+            0
+        );
     }
 
     #[test]
@@ -680,8 +692,13 @@ mod tests {
                 ..FrameworkOptions::default()
             };
             let mut f = RtMdm::with_options(platform.clone(), options).expect("platform");
-            f.add_task(TaskSpec::new("ae", zoo::autoencoder(), period_us, period_us))
-                .expect("add");
+            f.add_task(TaskSpec::new(
+                "ae",
+                zoo::autoencoder(),
+                period_us,
+                period_us,
+            ))
+            .expect("add");
             f.admit().expect("admit")
         };
         assert!(!mk(true).schedulable(), "sound analysis must reject");
@@ -758,8 +775,8 @@ mod tests {
                 tile_oversized_layers: tiling,
                 ..FrameworkOptions::default()
             };
-            let mut f = RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options)
-                .expect("platform");
+            let mut f =
+                RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
             f.add_task(TaskSpec::new("control", zoo::micro_mlp(), 10_000, 10_000))
                 .expect("control");
             f.add_task(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000))

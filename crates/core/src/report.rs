@@ -73,10 +73,7 @@ mod tests {
 
     #[test]
     fn table_aligns_columns() {
-        let t = table(
-            &["a", "longheader"],
-            &[vec!["xxxxxx".into(), "1".into()]],
-        );
+        let t = table(&["a", "longheader"], &[vec!["xxxxxx".into(), "1".into()]]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3);
         // All lines equal width.

@@ -139,15 +139,13 @@ mod tests {
 
     #[test]
     fn explicit_buffer_wins() {
-        let spec =
-            TaskSpec::new("kws", zoo::ds_cnn(), 1000, 1000).with_buffer_bytes(12 * 1024);
+        let spec = TaskSpec::new("kws", zoo::ds_cnn(), 1000, 1000).with_buffer_bytes(12 * 1024);
         assert_eq!(spec.resolved_buffer_bytes(), 12 * 1024);
     }
 
     #[test]
     fn strategy_builder_and_display() {
-        let spec = TaskSpec::new("a", zoo::micro_mlp(), 10, 10)
-            .with_strategy(Strategy::WholeDnn);
+        let spec = TaskSpec::new("a", zoo::micro_mlp(), 10, 10).with_strategy(Strategy::WholeDnn);
         assert_eq!(spec.strategy, Strategy::WholeDnn);
         assert_eq!(Strategy::RtMdm.to_string(), "rt-mdm");
         assert_eq!(Strategy::default(), Strategy::RtMdm);

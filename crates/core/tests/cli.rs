@@ -86,7 +86,9 @@ fn bad_usage_exits_one() {
     );
     // Unknown model name.
     assert_eq!(
-        rtmdm(&["admit", "--task", "x=no-such-model@100"]).status.code(),
+        rtmdm(&["admit", "--task", "x=no-such-model@100"])
+            .status
+            .code(),
         Some(1)
     );
 }
@@ -102,5 +104,10 @@ fn strategy_suffix_is_honoured() {
     ]);
     // Whole-DNN staging of resnet8 next to a 25 ms control task is
     // rejected on timing (blocking).
-    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }

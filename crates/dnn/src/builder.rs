@@ -65,11 +65,8 @@ impl ModelBuilder {
                 (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
             })
             .wrapping_add(idx as u64);
-        let layer = Layer::with_synthetic_weights(
-            format!("{}{}", kind.mnemonic(), idx),
-            kind,
-            seed,
-        );
+        let layer =
+            Layer::with_synthetic_weights(format!("{}{}", kind.mnemonic(), idx), kind, seed);
         self.nodes.push(Node {
             id: NodeId(idx),
             layer,
@@ -126,14 +123,14 @@ impl ModelBuilder {
 
     /// Appends a depthwise + pointwise (1×1) pair — the MobileNet
     /// separable-convolution building block.
-    pub fn separable(
-        self,
-        out_c: usize,
-        stride: (usize, usize),
-        relu: bool,
-    ) -> Self {
-        self.depthwise((3, 3), stride, Padding::Same, relu)
-            .conv2d(out_c, (1, 1), (1, 1), Padding::Same, relu)
+    pub fn separable(self, out_c: usize, stride: (usize, usize), relu: bool) -> Self {
+        self.depthwise((3, 3), stride, Padding::Same, relu).conv2d(
+            out_c,
+            (1, 1),
+            (1, 1),
+            Padding::Same,
+            relu,
+        )
     }
 
     /// Appends a fully-connected layer (input is implicitly flattened).

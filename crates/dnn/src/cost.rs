@@ -76,9 +76,7 @@ impl CostModel {
     pub fn layer_cycles(&self, kind: &LayerKind, input: Shape) -> Cycles {
         let out = kind.out_shape(input);
         let variable: u64 = match *kind {
-            LayerKind::Conv2d { .. } => {
-                mul_ppm(kind.macs(input), self.conv_cycles_per_mac_ppm)
-            }
+            LayerKind::Conv2d { .. } => mul_ppm(kind.macs(input), self.conv_cycles_per_mac_ppm),
             LayerKind::DepthwiseConv2d { .. } => {
                 mul_ppm(kind.macs(input), self.dwconv_cycles_per_mac_ppm)
             }
@@ -87,9 +85,7 @@ impl CostModel {
                 let visited = out.map_or(0, |o| o.len() as u64) * (kernel.0 * kernel.1) as u64;
                 mul_ppm(visited, self.pool_cycles_per_elem_ppm)
             }
-            LayerKind::GlobalAvgPool => {
-                mul_ppm(input.len() as u64, self.pool_cycles_per_elem_ppm)
-            }
+            LayerKind::GlobalAvgPool => mul_ppm(input.len() as u64, self.pool_cycles_per_elem_ppm),
             LayerKind::Add { .. } | LayerKind::Flatten => {
                 mul_ppm(input.len() as u64, self.eltwise_cycles_per_elem_ppm)
             }
@@ -182,7 +178,10 @@ mod tests {
         let cycles = m.layer_cycles(&kind, input);
         // 1.3 cycles/MAC + overhead, within rounding.
         let expected = macs * 13 / 10 + m.layer_overhead_cycles;
-        assert!(cycles.get().abs_diff(expected) <= 2, "{cycles} vs {expected}");
+        assert!(
+            cycles.get().abs_diff(expected) <= 2,
+            "{cycles} vs {expected}"
+        );
     }
 
     #[test]
@@ -229,7 +228,9 @@ mod tests {
             out_features: 64,
             relu: true,
         };
-        assert!(m4.layer_cycles(&kind, Shape::flat(256)) > m7.layer_cycles(&kind, Shape::flat(256)));
+        assert!(
+            m4.layer_cycles(&kind, Shape::flat(256)) > m7.layer_cycles(&kind, Shape::flat(256))
+        );
     }
 
     #[test]

@@ -91,14 +91,11 @@ impl Model {
     /// order, shape agreement) are the builder's responsibility and are
     /// re-checked with debug assertions.
     pub(crate) fn from_parts(name: String, input_shape: Shape, nodes: Vec<Node>) -> Self {
-        debug_assert!(nodes
-            .iter()
-            .enumerate()
-            .all(|(i, n)| n.id.0 == i
-                && n.inputs.iter().all(|inp| match inp {
-                    NodeInput::ModelInput => true,
-                    NodeInput::Node(id) => id.0 < i,
-                })));
+        debug_assert!(nodes.iter().enumerate().all(|(i, n)| n.id.0 == i
+            && n.inputs.iter().all(|inp| match inp {
+                NodeInput::ModelInput => true,
+                NodeInput::Node(id) => id.0 < i,
+            })));
         Model {
             name,
             input_shape,
@@ -238,21 +235,21 @@ impl Model {
                     kernels::max_pool2d(fetch(&node.inputs[0]), kernel, stride)
                 }
                 LayerKind::GlobalAvgPool => kernels::global_avg_pool(fetch(&node.inputs[0])),
-                LayerKind::Add { .. } => kernels::add(
-                    fetch(&node.inputs[0]),
-                    fetch(&node.inputs[1]),
-                    &node.layer,
-                ),
+                LayerKind::Add { .. } => {
+                    kernels::add(fetch(&node.inputs[0]), fetch(&node.inputs[1]), &node.layer)
+                }
                 LayerKind::Softmax => kernels::softmax(fetch(&node.inputs[0])),
                 LayerKind::Flatten => fetch(&node.inputs[0]).flattened(),
             };
-            debug_assert_eq!(out.shape(), node.out_shape, "node {} shape", node.layer.name);
+            debug_assert_eq!(
+                out.shape(),
+                node.out_shape,
+                "node {} shape",
+                node.layer.name
+            );
             outputs[node.id.0] = Some(out);
         }
-        Ok(outputs
-            .pop()
-            .flatten()
-            .unwrap_or_else(|| input.clone()))
+        Ok(outputs.pop().flatten().unwrap_or_else(|| input.clone()))
     }
 }
 

@@ -126,8 +126,7 @@ pub fn depthwise_conv2d(input: &Tensor, layer: &Layer) -> Tensor {
                             continue;
                         }
                         let x = i32::from(input.get(iy as usize, ix as usize, ch)) - in_zp;
-                        let w =
-                            i32::from(layer.weights[(ch * kernel.0 + ky) * kernel.1 + kx]);
+                        let w = i32::from(layer.weights[(ch * kernel.0 + ky) * kernel.1 + kx]);
                         acc += x * w;
                     }
                 }
@@ -145,11 +144,7 @@ pub fn depthwise_conv2d(input: &Tensor, layer: &Layer) -> Tensor {
 /// Constructs a conv layer with all-zero weights and the given biases —
 /// test helper shared by this module's tests.
 #[cfg(test)]
-pub(crate) fn conv_layer_with(
-    kind: LayerKind,
-    weights: Vec<i8>,
-    bias: Vec<i32>,
-) -> Layer {
+pub(crate) fn conv_layer_with(kind: LayerKind, weights: Vec<i8>, bias: Vec<i32>) -> Layer {
     use crate::quantize::QuantParams;
     Layer::with_weights("t", kind, weights, bias, 0.02, QuantParams::symmetric(0.1))
         .expect("test layer")
@@ -272,7 +267,12 @@ mod tests {
         let out = conv2d(&input, &layer);
         assert_eq!(out.shape(), Shape::new(2, 2, 1));
         assert_eq!(
-            (out.get(0, 0, 0), out.get(0, 1, 0), out.get(1, 0, 0), out.get(1, 1, 0)),
+            (
+                out.get(0, 0, 0),
+                out.get(0, 1, 0),
+                out.get(1, 0, 0),
+                out.get(1, 1, 0)
+            ),
             (1, 2, 3, 4)
         );
     }

@@ -37,11 +37,7 @@ pub fn add(a: &Tensor, b: &Tensor, layer: &Layer) -> Tensor {
 
     let mut out = Tensor::zeros(a.shape());
     out.set_quant(out_quant);
-    for (o, (&x, &y)) in out
-        .data_mut()
-        .iter_mut()
-        .zip(a.data().iter().zip(b.data()))
-    {
+    for (o, (&x, &y)) in out.data_mut().iter_mut().zip(a.data().iter().zip(b.data())) {
         let mut v = (i32::from(x) - zp_a) + (i32::from(y) - zp_b) + out_zp;
         if relu && v < out_zp {
             v = out_zp;
@@ -62,12 +58,7 @@ pub fn softmax(input: &Tensor) -> Tensor {
     let flat = input.flattened();
     let scale = flat.quant().scale;
     let zp = flat.quant().zero_point;
-    let max = flat
-        .data()
-        .iter()
-        .map(|&q| i32::from(q))
-        .max()
-        .unwrap_or(0);
+    let max = flat.data().iter().map(|&q| i32::from(q)).max().unwrap_or(0);
     let exps: Vec<f32> = flat
         .data()
         .iter()
@@ -112,7 +103,11 @@ mod tests {
 
     #[test]
     fn add_is_elementwise_with_saturation() {
-        let out = add(&t(vec![1, 100, -100]), &t(vec![2, 100, -100]), &add_layer(false));
+        let out = add(
+            &t(vec![1, 100, -100]),
+            &t(vec![2, 100, -100]),
+            &add_layer(false),
+        );
         assert_eq!(out.data(), &[3, 127, -128]);
     }
 
@@ -145,12 +140,7 @@ mod tests {
         let total: i32 = probs.iter().sum();
         assert!((total - 256).abs() <= 2, "total={total}");
         // Largest logit gets the largest probability.
-        let argmax = probs
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &p)| p)
-            .unwrap()
-            .0;
+        let argmax = probs.iter().enumerate().max_by_key(|(_, &p)| p).unwrap().0;
         assert_eq!(argmax, 2);
     }
 

@@ -218,12 +218,10 @@ impl LayerKind {
             return 0;
         };
         match *self {
-            LayerKind::Conv2d {
-                in_c, kernel, ..
-            } => (out.len() * kernel.0 * kernel.1 * in_c) as u64,
-            LayerKind::DepthwiseConv2d { kernel, .. } => {
-                (out.len() * kernel.0 * kernel.1) as u64
+            LayerKind::Conv2d { in_c, kernel, .. } => {
+                (out.len() * kernel.0 * kernel.1 * in_c) as u64
             }
+            LayerKind::DepthwiseConv2d { kernel, .. } => (out.len() * kernel.0 * kernel.1) as u64,
             LayerKind::Dense {
                 in_features,
                 out_features,
@@ -273,10 +271,16 @@ impl std::fmt::Display for BuildLayerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildLayerError::WeightLenMismatch { expected, got } => {
-                write!(f, "weight buffer has {got} elements, operator needs {expected}")
+                write!(
+                    f,
+                    "weight buffer has {got} elements, operator needs {expected}"
+                )
             }
             BuildLayerError::BiasLenMismatch { expected, got } => {
-                write!(f, "bias buffer has {got} elements, operator needs {expected}")
+                write!(
+                    f,
+                    "bias buffer has {got} elements, operator needs {expected}"
+                )
             }
         }
     }
@@ -417,7 +421,10 @@ mod tests {
             padding: Padding::Same,
             relu: true,
         };
-        assert_eq!(k.out_shape(Shape::new(10, 10, 8)), Some(Shape::new(5, 5, 8)));
+        assert_eq!(
+            k.out_shape(Shape::new(10, 10, 8)),
+            Some(Shape::new(5, 5, 8))
+        );
         assert_eq!(k.macs(Shape::new(10, 10, 8)), 5 * 5 * 8 * 9);
     }
 
@@ -442,9 +449,15 @@ mod tests {
             stride: (2, 2),
         };
         assert_eq!(avg.out_shape(input), Some(Shape::new(4, 4, 4)));
-        assert_eq!(LayerKind::GlobalAvgPool.out_shape(input), Some(Shape::new(1, 1, 4)));
+        assert_eq!(
+            LayerKind::GlobalAvgPool.out_shape(input),
+            Some(Shape::new(1, 1, 4))
+        );
         assert_eq!(LayerKind::Add { relu: false }.out_shape(input), Some(input));
-        assert_eq!(LayerKind::Softmax.out_shape(Shape::flat(10)), Some(Shape::flat(10)));
+        assert_eq!(
+            LayerKind::Softmax.out_shape(Shape::flat(10)),
+            Some(Shape::flat(10))
+        );
         assert_eq!(LayerKind::Flatten.out_shape(input), Some(Shape::flat(256)));
     }
 
@@ -472,8 +485,15 @@ mod tests {
             out_features: 2,
             relu: false,
         };
-        let err = Layer::with_weights("fc", k, vec![0; 7], vec![0; 2], 0.02, QuantParams::default())
-            .unwrap_err();
+        let err = Layer::with_weights(
+            "fc",
+            k,
+            vec![0; 7],
+            vec![0; 2],
+            0.02,
+            QuantParams::default(),
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             BuildLayerError::WeightLenMismatch {
@@ -481,8 +501,15 @@ mod tests {
                 got: 7
             }
         );
-        let err = Layer::with_weights("fc", k, vec![0; 8], vec![0; 3], 0.02, QuantParams::default())
-            .unwrap_err();
+        let err = Layer::with_weights(
+            "fc",
+            k,
+            vec![0; 8],
+            vec![0; 3],
+            0.02,
+            QuantParams::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, BuildLayerError::BiasLenMismatch { .. }));
     }
 

@@ -108,7 +108,11 @@ pub fn quantize_multiplier(m: f64) -> (i32, i32) {
 pub fn requantize(acc: i32, quantized_multiplier: i32, right_shift: i32, zero_point: i32) -> i8 {
     // Saturating doubling high multiply: (acc * q + 2^30) >> 31.
     let ab = i64::from(acc) * i64::from(quantized_multiplier);
-    let nudge = if ab >= 0 { 1i64 << 30 } else { 1 - (1i64 << 30) };
+    let nudge = if ab >= 0 {
+        1i64 << 30
+    } else {
+        1 - (1i64 << 30)
+    };
     let high = ((ab + nudge) >> 31) as i32;
     // Rounding right shift.
     let shifted = if right_shift > 0 {

@@ -265,11 +265,7 @@ mod tests {
 
     #[test]
     fn argmax_breaks_ties_low() {
-        let t = Tensor::from_data(
-            Shape::flat(4),
-            vec![3, 9, 9, 1],
-            QuantParams::default(),
-        );
+        let t = Tensor::from_data(Shape::flat(4), vec![3, 9, 9, 1], QuantParams::default());
         assert_eq!(t.argmax(), Some(1));
         let empty = Tensor::zeros(Shape::flat(0));
         assert_eq!(empty.argmax(), None);

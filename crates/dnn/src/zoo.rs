@@ -167,7 +167,11 @@ mod tests {
     #[test]
     fn parameter_counts_match_published_architectures() {
         // Tolerant bands: synthetic weights, exact architectures.
-        assert!((15..35).contains(&weight_kb(&ds_cnn())), "ds-cnn {} kB", weight_kb(&ds_cnn()));
+        assert!(
+            (15..35).contains(&weight_kb(&ds_cnn())),
+            "ds-cnn {} kB",
+            weight_kb(&ds_cnn())
+        );
         assert!(
             (60..100).contains(&weight_kb(&resnet8())),
             "resnet8 {} kB",
@@ -183,7 +187,11 @@ mod tests {
             "autoencoder {} kB",
             weight_kb(&autoencoder())
         );
-        assert!((40..80).contains(&weight_kb(&lenet5())), "lenet5 {} kB", weight_kb(&lenet5()));
+        assert!(
+            (40..80).contains(&weight_kb(&lenet5())),
+            "lenet5 {} kB",
+            weight_kb(&lenet5())
+        );
         assert!(micro_mlp().total_weight_bytes() < 2048);
     }
 

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use rtmdm_dnn::kernels;
-use rtmdm_dnn::{
-    CostModel, Layer, LayerKind, ModelBuilder, Padding, QuantParams, Shape, Tensor,
-};
+use rtmdm_dnn::{CostModel, Layer, LayerKind, ModelBuilder, Padding, QuantParams, Shape, Tensor};
 
 fn tensor(shape: Shape, seed: u64) -> Tensor {
     let mut t = Tensor::filled_pattern(shape, seed);

@@ -123,8 +123,8 @@ impl EnergyReport {
             return 0;
         }
         // pJ * (cycles/s) / cycles = pW → µW by 1e6.
-        let pw = u128::from(self.total_pj()) * u128::from(cpu.as_hz())
-            / u128::from(self.horizon.get());
+        let pw =
+            u128::from(self.total_pj()) * u128::from(cpu.as_hz()) / u128::from(self.horizon.get());
         (pw / 1_000_000) as u64
     }
 }
@@ -150,10 +150,21 @@ mod tests {
                 bytes,
             },
         );
-        t.push(cy(10), TraceKind::SegmentStarted { task, job, segment: seg });
+        t.push(
+            cy(10),
+            TraceKind::SegmentStarted {
+                task,
+                job,
+                segment: seg,
+            },
+        );
         t.push(
             cy(10 + active),
-            TraceKind::SegmentCompleted { task, job, segment: seg },
+            TraceKind::SegmentCompleted {
+                task,
+                job,
+                segment: seg,
+            },
         );
         t
     }
@@ -167,10 +178,7 @@ mod tests {
         assert_eq!(r.ext_mem_pj, 1024 * 60);
         assert_eq!(r.base_pj, 1000 * 40);
         assert_eq!(r.staged_bytes, 1024);
-        assert_eq!(
-            r.total_pj(),
-            100 * 590 + 900 * 150 + 1024 * 60 + 1000 * 40
-        );
+        assert_eq!(r.total_pj(), 100 * 590 + 900 * 150 + 1024 * 60 + 1000 * 40);
     }
 
     #[test]

@@ -341,7 +341,10 @@ mod tests {
 
     #[test]
     fn zero_dma_channels_rejected_unless_ideal() {
-        let err = PlatformConfig::builder().dma_channels(0).build().unwrap_err();
+        let err = PlatformConfig::builder()
+            .dma_channels(0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ConfigError::NoDmaChannel));
         // Ideal memory needs no DMA.
         let mut p = PlatformConfig::ideal_sram();

@@ -325,11 +325,7 @@ impl Trace {
                 TraceKind::SegmentCompleted { task, job, segment } => {
                     if let Some(start) = open.remove(&(task, job, segment)) {
                         let row = rows.entry(task).or_insert_with(|| vec!['.'; width]);
-                        for cell in row
-                            .iter_mut()
-                            .take(scale(e.time) + 1)
-                            .skip(scale(start))
-                        {
+                        for cell in row.iter_mut().take(scale(e.time) + 1).skip(scale(start)) {
                             *cell = '#';
                         }
                     }
@@ -350,7 +346,12 @@ impl Trace {
         }
         let mut out = String::new();
         for (task, row) in rows {
-            let _ = writeln!(out, "{:>4} |{}|", task.to_string(), row.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>4} |{}|",
+                task.to_string(),
+                row.iter().collect::<String>()
+            );
         }
         out
     }

@@ -119,10 +119,7 @@ pub fn edf_demand_test(ts: &TaskSet, platform: &PlatformConfig) -> bool {
         for (task, charge) in ts.tasks().iter().zip(&per_job) {
             if t >= task.deadline {
                 let jobs = (t - task.deadline).get() / task.period.get() + 1;
-                demand = match charge
-                    .checked_mul(jobs)
-                    .and_then(|d| demand.checked_add(d))
-                {
+                demand = match charge.checked_mul(jobs).and_then(|d| demand.checked_add(d)) {
                     Some(d) => d,
                     None => return false,
                 };

@@ -323,10 +323,7 @@ mod tests {
         // segment, T=1000): hi's bound is B (one lo segment, 200) plus
         // its own 20 = 220 — which exceeds hi's deadline of 100, so the
         // analysis must reject the set on blocking grounds alone.
-        let ts = TaskSet::from_tasks(vec![
-            resident("hi", 100, 20),
-            resident("lo", 1000, 200),
-        ]);
+        let ts = TaskSet::from_tasks(vec![resident("hi", 100, 20), resident("lo", 1000, 200)]);
         let out = rta_limited_preemption(&ts, &bare_platform());
         let r_hi = out.response_of(0).expect("converged");
         assert_eq!(r_hi, cy(220));
@@ -335,10 +332,7 @@ mod tests {
 
     #[test]
     fn blocking_violating_deadline_flags_unschedulable() {
-        let ts = TaskSet::from_tasks(vec![
-            resident("hi", 100, 20),
-            resident("lo", 1000, 200),
-        ]);
+        let ts = TaskSet::from_tasks(vec![resident("hi", 100, 20), resident("lo", 1000, 200)]);
         let out = rta_limited_preemption(&ts, &bare_platform());
         // From the previous test: r_hi = 220 > 100 → unschedulable.
         assert!(!out.schedulable);
@@ -365,10 +359,7 @@ mod tests {
     fn overloaded_set_is_rejected() {
         // 160 % utilization: the fixed point for b lands at 720 (8 jobs
         // of a at 80 each, plus its own 80), far past its deadline.
-        let ts = TaskSet::from_tasks(vec![
-            resident("a", 100, 80),
-            resident("b", 100, 80),
-        ]);
+        let ts = TaskSet::from_tasks(vec![resident("a", 100, 80), resident("b", 100, 80)]);
         let out = rta_limited_preemption(&ts, &bare_platform());
         assert!(!out.schedulable);
         // Divergence would be an equally valid rejection; a converged
@@ -381,10 +372,7 @@ mod tests {
     #[test]
     fn true_divergence_yields_none() {
         // b under a task with utilization 1.0 can never converge.
-        let ts = TaskSet::from_tasks(vec![
-            resident("a", 100, 100),
-            resident("b", 1000, 10),
-        ]);
+        let ts = TaskSet::from_tasks(vec![resident("a", 100, 100), resident("b", 1000, 10)]);
         let out = rta_limited_preemption(&ts, &bare_platform());
         assert!(!out.schedulable);
         assert_eq!(out.response.last().copied().flatten(), None);
@@ -430,10 +418,7 @@ mod tests {
 
     #[test]
     fn rtmdm_dominates_memory_oblivious_bounds() {
-        let ts = TaskSet::from_tasks(vec![
-            resident("a", 1000, 100),
-            resident("b", 2000, 300),
-        ]);
+        let ts = TaskSet::from_tasks(vec![resident("a", 1000, 100), resident("b", 2000, 300)]);
         let p = bare_platform();
         let sound = rta_limited_preemption(&ts, &p);
         let oblivious = rta_memory_oblivious(&ts, &p);

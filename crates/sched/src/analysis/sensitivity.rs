@@ -62,11 +62,7 @@ pub fn scaled_taskset(ts: &TaskSet, scale_ppm: u64) -> TaskSet {
 /// # Ok(())
 /// # }
 /// ```
-pub fn critical_scaling_ppm(
-    ts: &TaskSet,
-    platform: &PlatformConfig,
-    mode: SchedulerMode,
-) -> u64 {
+pub fn critical_scaling_ppm(ts: &TaskSet, platform: &PlatformConfig, mode: SchedulerMode) -> u64 {
     let admits = |ppm: u64| -> bool {
         rta_limited_preemption_with(&scaled_taskset(ts, ppm), platform, mode).schedulable
     };
@@ -140,12 +136,14 @@ mod tests {
                 .schedulable
         );
         if limit < MAX_SCALE_PPM {
-            assert!(!rta_limited_preemption_with(
-                &scaled_taskset(&ts, limit + 20_000),
-                &p,
-                SchedulerMode::Gated
-            )
-            .schedulable);
+            assert!(
+                !rta_limited_preemption_with(
+                    &scaled_taskset(&ts, limit + 20_000),
+                    &p,
+                    SchedulerMode::Gated
+                )
+                .schedulable
+            );
         }
     }
 

@@ -83,7 +83,11 @@ impl TaskTiming {
         let mut pipeline = fetch.first().copied().unwrap_or(Cycles::ZERO);
         let mut resume_points = 1u64;
         for k in 0..n {
-            let next_fetch = if k + 1 < n { fetch[k + 1] } else { Cycles::ZERO };
+            let next_fetch = if k + 1 < n {
+                fetch[k + 1]
+            } else {
+                Cycles::ZERO
+            };
             pipeline += exec[k].max(next_fetch);
             if !next_fetch.is_zero() {
                 resume_points += 1;

@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn audsley_finds_the_obvious_order() {
         // Reverse-priority input: the long task listed first.
-        let ts = TaskSet::from_tasks(vec![t("slow", 10_000, 10_000, 900), t("fast", 1_000, 1_000, 90)]);
+        let ts = TaskSet::from_tasks(vec![
+            t("slow", 10_000, 10_000, 900),
+            t("fast", 1_000, 1_000, 90),
+        ]);
         let order = audsley(&ts, &bare_platform()).expect("schedulable");
         let reordered = ts.reordered(&order);
         assert!(rta_limited_preemption(&reordered, &bare_platform()).schedulable);
@@ -174,10 +177,7 @@ mod tests {
     fn audsley_beats_rm_on_constrained_deadlines() {
         // Classic DM-beats-RM shape: a long-period task with a tight
         // deadline. RM puts it last and misses; OPA can fix it.
-        let ts = TaskSet::from_tasks(vec![
-            t("loose", 100, 100, 40),
-            t("tight", 400, 50, 9),
-        ]);
+        let ts = TaskSet::from_tasks(vec![t("loose", 100, 100, 40), t("tight", 400, 50, 9)]);
         let rm = ts.reordered(&rm_order(&ts));
         let rm_ok = rta_limited_preemption(&rm, &bare_platform()).schedulable;
         let opa = audsley(&ts, &bare_platform());

@@ -73,19 +73,26 @@ impl TasksetParams {
 }
 
 /// UUniFast: splits `total_ppm` across `n` values, each in
-/// `(0, total_ppm)`, uniformly over the simplex.
+/// `[0, total_ppm]`, uniformly over the simplex. The shares sum to
+/// `total_ppm` exactly: each share is floored to integer ppm and the
+/// accumulated rounding deficit is folded into the final share, so the
+/// generated set never systematically undershoots its utilization
+/// target.
 pub fn uunifast(n: usize, total_ppm: u64, rng: &mut StdRng) -> Vec<u64> {
     if n == 0 {
         return Vec::new();
     }
     let mut utils = Vec::with_capacity(n);
+    let mut assigned = 0u64;
     let mut sum = total_ppm as f64 / 1e6;
     for i in 1..n {
         let next = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
-        utils.push(((sum - next) * 1e6) as u64);
+        let share = (((sum - next) * 1e6) as u64).min(total_ppm - assigned);
+        utils.push(share);
+        assigned += share;
         sum = next;
     }
-    utils.push((sum * 1e6) as u64);
+    utils.push(total_ppm - assigned);
     utils
 }
 
@@ -144,15 +151,18 @@ pub fn generate(params: &TasksetParams, platform: &PlatformConfig, seed: u64) ->
                 c
             }
             .max(1);
-            let fetch_cycles =
-                (u128::from(compute) * u128::from(params.fetch_compute_ratio_ppm) / 1_000_000)
-                    as u64;
+            let fetch_cycles = (u128::from(compute) * u128::from(params.fetch_compute_ratio_ppm)
+                / 1_000_000) as u64;
             let bytes = cycles_to_bytes(fetch_cycles, platform);
             segments.push(Segment::new(Cycles::new(compute), bytes));
         }
 
         let (dlo, dhi) = params.deadline_factor_range_ppm;
-        let factor = if dlo >= dhi { dlo } else { rng.gen_range(dlo..=dhi) };
+        let factor = if dlo >= dhi {
+            dlo
+        } else {
+            rng.gen_range(dlo..=dhi)
+        };
         let deadline =
             ((u128::from(period) * u128::from(factor.min(1_000_000)) / 1_000_000) as u64).max(1);
 
@@ -203,10 +213,7 @@ mod tests {
             let utils = uunifast(n, 700_000, &mut rng);
             assert_eq!(utils.len(), n);
             let sum: u64 = utils.iter().sum();
-            assert!(
-                (690_000..=710_000).contains(&sum),
-                "n={n} sum={sum} (float conversion tolerance)"
-            );
+            assert_eq!(sum, 700_000, "n={n}: shares must sum to total_ppm exactly");
         }
         assert!(uunifast(0, 500_000, &mut rng).is_empty());
     }
@@ -255,7 +262,8 @@ mod tests {
         let p = platform();
         let tl = generate(&light, &p, 9);
         let th = generate(&heavy, &p, 9);
-        let bytes = |ts: &TaskSet| -> u64 { ts.tasks().iter().map(|t| t.total_fetch_bytes()).sum() };
+        let bytes =
+            |ts: &TaskSet| -> u64 { ts.tasks().iter().map(|t| t.total_fetch_bytes()).sum() };
         assert!(bytes(&th) > 4 * bytes(&tl));
     }
 

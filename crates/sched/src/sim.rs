@@ -26,9 +26,12 @@
 //!   chains, so the driver switches streams at burst granularity; the
 //!   re-arm cost is folded into the per-transfer setup charge).
 //! - While the CPU computes and the DMA streams simultaneously, both
-//!   progress at their inflated (contended) rates; rounding is
-//!   conservative and all arithmetic integral, so runs are
-//!   bit-reproducible.
+//!   progress at their inflated (contended) rates. Progress is tracked
+//!   with an exact sub-cycle carry (see `contended_progress`), so a
+//!   contended phase retires the same total work regardless of how many
+//!   event instants cut it — the simulator never runs slower than the
+//!   analysis's single-ceiling inflation bound, and all arithmetic is
+//!   integral, so runs are bit-reproducible.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -145,7 +148,10 @@ impl ResponseHist {
         if total == 0 {
             return None;
         }
-        let target = (total * pct).div_ceil(100);
+        // Rank arithmetic in u128: `total * pct` overflows u64 once
+        // total exceeds u64::MAX / 100 (long-horizon accumulations).
+        let target = u64::try_from((u128::from(total) * u128::from(pct)).div_ceil(100))
+            .expect("percentile rank exceeds u64");
         let mut seen = 0;
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -188,7 +194,10 @@ impl SimResult {
 
     /// Largest observed response of task `idx`.
     pub fn max_response_of(&self, idx: usize) -> Cycles {
-        self.stats.get(idx).map(|s| s.max_response).unwrap_or(Cycles::ZERO)
+        self.stats
+            .get(idx)
+            .map(|s| s.max_response)
+            .unwrap_or(Cycles::ZERO)
     }
 }
 
@@ -224,6 +233,13 @@ struct CpuExec {
     task: usize,
     seg: usize,
     remaining: Cycles,
+    /// Sub-cycle contended progress carried across advance boundaries,
+    /// as a numerator over `PPM + cpu_inflation_ppm`. Without this
+    /// carry, every event instant that cuts a contended interval would
+    /// floor away up to one work cycle, and a segment crossed by many
+    /// events could run longer than the analysis's single-ceiling
+    /// inflated bound — an unsoundness, not a modeling choice.
+    credit: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -232,6 +248,9 @@ struct DmaExec {
     seg: usize,
     remaining: Cycles,
     deadline: Cycles, // EDF key, kept for preemption comparisons
+    /// Sub-cycle contended progress (see [`CpuExec::credit`]), over
+    /// `PPM + dma_inflation_ppm`.
+    credit: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -240,6 +259,9 @@ struct DmaRequest {
     seg: usize,
     work: Cycles,
     deadline: Cycles, // EDF key
+    /// Progress credit preserved when an in-flight transfer is
+    /// suspended, so preemption never discards partial work.
+    credit: u64,
 }
 
 struct Sim<'a> {
@@ -317,16 +339,38 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
     }
 }
 
+/// Work retired in `delta` wall cycles at the contended rate
+/// `PPM / (PPM + inflation_ppm)`, carrying the sub-cycle remainder in
+/// `credit` (a numerator over `PPM + inflation_ppm`).
+///
+/// Because the remainder carries over, splitting an interval at event
+/// boundaries retires exactly as much total work as advancing it in one
+/// step — so a fully contended segment never outlasts the analysis's
+/// `inflate_cpu`/`inflate_dma` bound, no matter how many events cut it.
+fn contended_progress(delta: Cycles, inflation_ppm: u32, credit: &mut u64) -> Cycles {
+    let den = u128::from(PPM) + u128::from(inflation_ppm);
+    let acc = u128::from(*credit) + u128::from(delta.get()) * u128::from(PPM);
+    let retired = acc / den;
+    *credit = (acc % den) as u64;
+    Cycles::new(u64::try_from(retired).expect("retired work overflow"))
+}
+
+/// Wall cycles until `remaining` work retires at the contended rate,
+/// given accumulated `credit`. With zero credit this equals
+/// `ContentionModel::inflate_cpu`/`inflate_dma` of the remaining work.
+fn contended_eta(remaining: Cycles, inflation_ppm: u32, credit: u64) -> Cycles {
+    let den = u128::from(PPM) + u128::from(inflation_ppm);
+    let need = (u128::from(remaining.get()) * den).saturating_sub(u128::from(credit));
+    Cycles::new(u64::try_from(need.div_ceil(u128::from(PPM))).expect("eta overflow"))
+}
+
 impl Sim<'_> {
     fn run(&mut self) {
         loop {
             let cpu_fin = self.cpu_finish_estimate();
             let dma_fin = self.dma_finish_estimate();
             let timed = self.timed.peek_time();
-            let next = [cpu_fin, dma_fin, timed]
-                .into_iter()
-                .flatten()
-                .min();
+            let next = [cpu_fin, dma_fin, timed].into_iter().flatten().min();
             let Some(next) = next else { break };
             if next > self.config.horizon {
                 break;
@@ -363,7 +407,11 @@ impl Sim<'_> {
     fn cpu_finish_estimate(&self) -> Option<Cycles> {
         let c = self.cpu?;
         let dur = if self.both_busy() {
-            self.platform.contention.inflate_cpu(c.remaining)
+            contended_eta(
+                c.remaining,
+                self.platform.contention.cpu_inflation_ppm,
+                c.credit,
+            )
         } else {
             c.remaining
         };
@@ -373,7 +421,11 @@ impl Sim<'_> {
     fn dma_finish_estimate(&self) -> Option<Cycles> {
         let d = self.dma?;
         let dur = if self.both_busy() {
-            self.platform.contention.inflate_dma(d.remaining)
+            contended_eta(
+                d.remaining,
+                self.platform.contention.dma_inflation_ppm,
+                d.credit,
+            )
         } else {
             d.remaining
         };
@@ -388,19 +440,14 @@ impl Sim<'_> {
         let both = self.both_busy();
         let cpu_fin = self.cpu_finish_estimate();
         let dma_fin = self.dma_finish_estimate();
+        let cpu_inflation = self.platform.contention.cpu_inflation_ppm;
+        let dma_inflation = self.platform.contention.dma_inflation_ppm;
         if let Some(c) = self.cpu.as_mut() {
             if cpu_fin == Some(next) {
                 c.remaining = Cycles::ZERO;
             } else {
                 let done = if both {
-                    // Work retired in `delta` wall cycles at the
-                    // contended rate, rounded down (conservative).
-                    Cycles::new(
-                        (u128::from(delta.get()) * u128::from(PPM)
-                            / u128::from(
-                                PPM + u64::from(self.platform.contention.cpu_inflation_ppm),
-                            )) as u64,
-                    )
+                    contended_progress(delta, cpu_inflation, &mut c.credit)
                 } else {
                     delta
                 };
@@ -412,12 +459,7 @@ impl Sim<'_> {
                 d.remaining = Cycles::ZERO;
             } else {
                 let done = if both {
-                    Cycles::new(
-                        (u128::from(delta.get()) * u128::from(PPM)
-                            / u128::from(
-                                PPM + u64::from(self.platform.contention.dma_inflation_ppm),
-                            )) as u64,
-                    )
+                    contended_progress(delta, dma_inflation, &mut d.credit)
                 } else {
                     delta
                 };
@@ -443,8 +485,7 @@ impl Sim<'_> {
         let scale = if self.config.exec_scale_min_ppm >= PPM {
             PPM
         } else {
-            self.rng
-                .gen_range(self.config.exec_scale_min_ppm..=PPM)
+            self.rng.gen_range(self.config.exec_scale_min_ppm..=PPM)
         };
         let seg_compute: Vec<Cycles> = task
             .segments
@@ -637,6 +678,7 @@ impl Sim<'_> {
             seg: next_fetch,
             work,
             deadline,
+            credit: 0,
         });
         self.trace.push(
             self.now,
@@ -682,12 +724,13 @@ impl Sim<'_> {
                     return; // in-flight transfer keeps the channel
                 }
                 // Suspend the in-flight transfer; its remaining work
-                // returns to the queue.
+                // (including sub-cycle progress) returns to the queue.
                 self.dma_queue.push(DmaRequest {
                     task: current.task,
                     seg: current.seg,
                     work: current.remaining,
                     deadline: current.deadline,
+                    credit: current.credit,
                 });
             }
             let req = self.dma_queue.remove(i);
@@ -696,6 +739,7 @@ impl Sim<'_> {
                 seg: req.seg,
                 remaining: req.work,
                 deadline: req.deadline,
+                credit: req.credit,
             });
         }
     }
@@ -777,6 +821,7 @@ impl Sim<'_> {
             task: task_idx,
             seg,
             remaining: work + switch,
+            credit: 0,
         });
         self.trace.push(
             self.now,
@@ -1032,11 +1077,7 @@ mod tests {
             resident("b", 1500, &[200]),
         ]);
         let p = bare_platform();
-        let wcet = simulate(
-            &ts,
-            &p,
-            &SimConfig::new(cy(100_000), Policy::FixedPriority),
-        );
+        let wcet = simulate(&ts, &p, &SimConfig::new(cy(100_000), Policy::FixedPriority));
         for seed in 0..5 {
             let jit = simulate(
                 &ts,
@@ -1089,6 +1130,22 @@ mod tests {
         assert!(hist.percentile_upper(50).expect("non-empty") >= cy(30));
         // Empty histogram → None.
         assert_eq!(ResponseHist::default().percentile_upper(95), None);
+    }
+
+    #[test]
+    fn percentile_rank_survives_huge_counts() {
+        // Regression: `total * pct` used to be computed in u64, which
+        // overflows once count() exceeds u64::MAX / 100. Populate two
+        // buckets whose total sits just under u64::MAX and check both
+        // percentile halves resolve to the right bucket tops.
+        let mut hist = ResponseHist::default();
+        hist.buckets[4] = u64::MAX / 100 * 49; // responses in [16, 32)
+        hist.buckets[9] = u64::MAX / 100 * 50; // responses in [512, 1024)
+        assert!(hist.count() > u64::MAX / 100);
+        assert_eq!(hist.percentile_upper(25), Some(cy(31)));
+        assert_eq!(hist.percentile_upper(100), Some(cy(1023)));
+        // The 50th percentile falls in the upper bucket (49% below it).
+        assert_eq!(hist.percentile_upper(50), Some(cy(1023)));
     }
 
     #[test]

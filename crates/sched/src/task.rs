@@ -317,12 +317,9 @@ mod tests {
 
     #[test]
     fn taskset_utilization_sums_tasks() {
-        let ts: TaskSet = vec![
-            task("a", 1000, &[(100, 0)]),
-            task("b", 2000, &[(400, 0)]),
-        ]
-        .into_iter()
-        .collect();
+        let ts: TaskSet = vec![task("a", 1000, &[(100, 0)]), task("b", 2000, &[(400, 0)])]
+            .into_iter()
+            .collect();
         assert_eq!(ts.compute_utilization_ppm(), 100_000 + 200_000);
         assert_eq!(ts.len(), 2);
     }

@@ -145,10 +145,7 @@ pub fn isolated_latency(
 /// `100 * (naive - overlapped) / (naive - ideal)`, clamped to `[0, 100]`.
 /// Returns `None` when staging is free (ideal memory), where hiding is
 /// undefined.
-pub fn overlap_efficiency_pct(
-    seg: &ModelSegmentation,
-    platform: &PlatformConfig,
-) -> Option<u64> {
+pub fn overlap_efficiency_pct(seg: &ModelSegmentation, platform: &PlatformConfig) -> Option<u64> {
     let naive = isolated_latency(seg, platform, ExecutionStrategy::FetchThenCompute);
     let ideal = isolated_latency(seg, platform, ExecutionStrategy::AllInSram);
     let rtmdm = isolated_latency(seg, platform, ExecutionStrategy::OverlappedPrefetch);
@@ -249,9 +246,12 @@ mod tests {
     fn overlap_efficiency_grows_with_segmentation() {
         // A whole-model single segment has nothing to overlap: 0%.
         let model = zoo::resnet8();
-        let whole =
-            segment_model(&model, &CostModel::cmsis_nn_m7(), model.total_weight_bytes())
-                .expect("plan");
+        let whole = segment_model(
+            &model,
+            &CostModel::cmsis_nn_m7(),
+            model.total_weight_bytes(),
+        )
+        .expect("plan");
         let p = PlatformConfig::stm32f746_qspi();
         assert_eq!(whole.len(), 1);
         assert_eq!(overlap_efficiency_pct(&whole, &p), Some(0));
@@ -261,7 +261,10 @@ mod tests {
         let eff = overlap_efficiency_pct(&fine, &p).expect("staging not free");
         assert!(eff >= 30, "efficiency {eff}%");
         // Ideal memory → undefined.
-        assert_eq!(overlap_efficiency_pct(&fine, &PlatformConfig::ideal_sram()), None);
+        assert_eq!(
+            overlap_efficiency_pct(&fine, &PlatformConfig::ideal_sram()),
+            None
+        );
     }
 
     #[test]

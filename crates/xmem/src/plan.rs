@@ -76,7 +76,11 @@ impl ModelSegmentation {
 
     /// The largest single fetch in bytes.
     pub fn max_fetch_bytes(&self) -> u64 {
-        self.segments.iter().map(|s| s.fetch_bytes).max().unwrap_or(0)
+        self.segments
+            .iter()
+            .map(|s| s.fetch_bytes)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -155,8 +159,7 @@ pub fn segment_model_capped(
                 buffer_bytes,
             });
         }
-        let over_compute =
-            compute_cap.is_some_and(|cap| acc_compute + layer_cost.compute > cap);
+        let over_compute = compute_cap.is_some_and(|cap| acc_compute + layer_cost.compute > cap);
         if any_open && (acc_bytes + bytes > buffer_bytes || over_compute) {
             segments.push(SegmentPlan {
                 index: segments.len(),
@@ -345,7 +348,11 @@ mod tests {
             for model in zoo::all() {
                 match segment_model(&model, &m7(), buffer) {
                     Ok(seg) => {
-                        assert!(seg.max_fetch_bytes() <= buffer, "{} @ {buffer}", model.name());
+                        assert!(
+                            seg.max_fetch_bytes() <= buffer,
+                            "{} @ {buffer}",
+                            model.name()
+                        );
                     }
                     Err(PlanError::LayerTooLarge { bytes, .. }) => {
                         assert!(bytes > buffer);

@@ -130,6 +130,9 @@ mod tests {
     fn spill_free_plan_costs_zero_cycles() {
         let model = zoo::micro_mlp();
         let plan = plan_spill(&model, 1 << 20);
-        assert_eq!(plan.extra_cycles(&PlatformConfig::stm32f746_qspi()), Cycles::ZERO);
+        assert_eq!(
+            plan.extra_cycles(&PlatformConfig::stm32f746_qspi()),
+            Cycles::ZERO
+        );
     }
 }

@@ -44,7 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "buffer-size sweep (QSPI 40 MB/s):\n{}",
         report::table(
-            &["buffer", "segments", "rt-mdm latency", "fetch-then-compute", "overlap hidden"],
+            &[
+                "buffer",
+                "segments",
+                "rt-mdm latency",
+                "fetch-then-compute",
+                "overlap hidden"
+            ],
             &rows,
         )
     );
@@ -73,7 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "bandwidth sweep (48 KiB buffer):\n{}",
         report::table(
-            &["ext-mem bandwidth", "rt-mdm latency", "all-in-sram", "staging overhead"],
+            &[
+                "ext-mem bandwidth",
+                "rt-mdm latency",
+                "all-in-sram",
+                "staging overhead"
+            ],
             &rows,
         )
     );

@@ -15,9 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = PlatformConfig::stm32f746_qspi();
     println!(
         "platform: {} ({} SRAM, {} ext-mem)",
-        platform.name,
-        platform.sram_bytes,
-        platform.ext_mem.kind
+        platform.name, platform.sram_bytes, platform.ext_mem.kind
     );
 
     // 2. Declare the multi-DNN workload: a keyword spotter every 100 ms

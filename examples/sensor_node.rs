@@ -27,7 +27,12 @@ fn build(strategy: Option<Strategy>) -> Result<RtMdm, Box<dyn std::error::Error>
     fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))?;
     // Visual wake word every 500 ms (≈75 ms of compute + 220 kB of
     // weights staged from QSPI).
-    fw.add_task(TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000))?;
+    fw.add_task(TaskSpec::new(
+        "vww",
+        zoo::mobilenet_v1_025(),
+        500_000,
+        500_000,
+    ))?;
     Ok(fw)
 }
 

@@ -53,10 +53,20 @@ fn three_dnn_sensor_node_on_h743() {
     let mut fw = RtMdm::new(PlatformConfig::stm32h743_ospi()).expect("platform");
     fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
         .expect("kws");
-    fw.add_task(TaskSpec::new("vww", zoo::mobilenet_v1_025(), 400_000, 400_000))
-        .expect("vww");
-    fw.add_task(TaskSpec::new("anomaly", zoo::autoencoder(), 300_000, 300_000))
-        .expect("anomaly");
+    fw.add_task(TaskSpec::new(
+        "vww",
+        zoo::mobilenet_v1_025(),
+        400_000,
+        400_000,
+    ))
+    .expect("vww");
+    fw.add_task(TaskSpec::new(
+        "anomaly",
+        zoo::autoencoder(),
+        300_000,
+        300_000,
+    ))
+    .expect("anomaly");
     let admission = fw.admit().expect("admit");
     assert!(admission.schedulable(), "{}", admission.to_table());
     let run = fw.simulate(3_000_000).expect("simulate");
@@ -79,10 +89,8 @@ fn strategy_latency_ordering_holds_end_to_end() {
         Strategy::FetchThenCompute,
     ] {
         let mut fw = RtMdm::new(PlatformConfig::stm32f746_qspi()).expect("platform");
-        fw.add_task(
-            TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000).with_strategy(strategy),
-        )
-        .expect("add");
+        fw.add_task(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000).with_strategy(strategy))
+            .expect("add");
         let run = fw.simulate(2_000_000).expect("simulate");
         responses.push((strategy, run.max_response_of("ic").expect("ran")));
     }
@@ -144,8 +152,7 @@ fn memory_oblivious_admission_misses_in_simulation() {
         dma_aware_analysis: false,
         ..FrameworkOptions::default()
     };
-    let mut fw =
-        RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+    let mut fw = RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
     fw.add_task(TaskSpec::new("ae", zoo::autoencoder(), 4_000, 4_000))
         .expect("add");
     let admission = fw.admit().expect("admit");
@@ -160,8 +167,7 @@ fn edf_policy_runs_the_same_mix() {
         policy: rt_mdm::sched::sim::Policy::Edf,
         ..FrameworkOptions::default()
     };
-    let mut fw =
-        RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+    let mut fw = RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
     fw.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
         .expect("kws");
     fw.add_task(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000))

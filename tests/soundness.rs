@@ -172,5 +172,8 @@ fn directed_soundness_sweep() {
         }
     }
     // The sweep must actually exercise admitted sets to mean anything.
-    assert!(admitted > 300, "only {admitted} admitted sets — sweep too weak");
+    assert!(
+        admitted > 300,
+        "only {admitted} admitted sets — sweep too weak"
+    );
 }

@@ -1,0 +1,390 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the property-testing subset the workspace uses: the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, range/collection/option/bool
+//! strategies, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - sampling is plain random draws — no shrinking of failing cases
+//!   (failures print the full input tuple instead);
+//! - `proptest-regressions` files are not consulted;
+//! - the per-test RNG seed derives from the test name (override with
+//!   `PROPTEST_SEED`), so runs are deterministic but streams differ
+//!   from upstream.
+
+pub mod strategy {
+    //! The [`Strategy`] trait: something that can draw a value.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, f32, f64);
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing a fair coin flip.
+    pub struct Any;
+
+    /// Either boolean with equal probability.
+    pub const ANY: Any = Any;
+
+    impl crate::strategy::Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with element strategy `S` and a length
+    /// drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `None` half the time and `Some(inner)`
+    /// otherwise.
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option` strategy over `inner` with a 50% `Some` probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.5) {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Driving a property over many sampled cases.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single sampled case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property is violated; the string explains how.
+        Fail(String),
+        /// The inputs don't satisfy a `prop_assume!`; retry with new ones.
+        Reject(String),
+    }
+
+    /// Outcome of one sampled case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration, constructed with struct-update syntax from
+    /// [`ProptestConfig::default`].
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+        /// Cap on `prop_assume!` rejections across the whole run.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// FNV-1a over the test name: a stable per-test default seed.
+    fn name_seed(name: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Runs `case` until `config.cases` samples pass, panicking (with
+    /// the sampled inputs) on the first failure.
+    ///
+    /// `case` returns the Debug-rendering of the sampled inputs plus
+    /// the case outcome.
+    pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> (String, TestCaseResult),
+    {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| name_seed(name));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < config.cases {
+            let (inputs, outcome) = case(&mut rng);
+            match outcome {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(cond)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "property `{name}`: too many prop_assume! rejections ({rejected}); \
+                         last: {cond}"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property `{name}` failed after {accepted} passing case(s) \
+                     (seed {seed}):\n  {msg}\n  inputs: {inputs}"
+                ),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests: `fn name(arg in strategy, ...) { body }`
+/// items become `#[test]` functions that sample and check
+/// `config.cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!([$config] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!([$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` item at a
+/// time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$config:expr]) => {};
+    (
+        [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_property(stringify!($name), &__config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}  "),+),
+                    $(&$arg),+
+                );
+                let __outcome = (move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                })();
+                (__inputs, __outcome)
+            });
+        }
+        $crate::__proptest_items!([$config] $($rest)*);
+    };
+}
+
+/// Fails the current case (with an optional formatted message) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: {} == {}: {}\n  left: {:?}\n  right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (inputs outside the property's domain)
+/// without counting it toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_are_in_bounds(
+            a in 0u64..100,
+            b in -5i32..=5,
+            f in 0.25f64..0.75,
+            flag in crate::bool::ANY,
+            v in crate::collection::vec(1u8..4, 2..6),
+            opt in crate::option::of(10u64..20),
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(usize::from(flag) < 2);
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..4).contains(&x)));
+            if let Some(x) = opt {
+                prop_assert!((10..20).contains(&x));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_consuming_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_inputs() {
+        crate::test_runner::run_property(
+            "always_fails",
+            &ProptestConfig {
+                cases: 4,
+                ..ProptestConfig::default()
+            },
+            |_rng| {
+                (
+                    "x = 1".to_owned(),
+                    Err(TestCaseError::Fail("forced".to_owned())),
+                )
+            },
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements exactly the subset of the `rand 0.8` API the workspace
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] extension methods `gen_range` / `gen` / `gen_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! well-distributed, and fully deterministic per seed, which is all the
+//! task-set generator and the simulator's jitter model require. The
+//! streams differ from upstream `rand`'s ChaCha-based `StdRng`, so any
+//! numbers recorded under the real crate will differ; every consumer in
+//! this workspace treats seeds as opaque, so only determinism matters.
+
+pub mod rngs;
+
+/// Generates a random value of `Self` from the "standard" distribution
+/// (unit interval for floats, full range for integers, fair coin for
+/// `bool`). Mirror of `rand::distributions::Standard` via `Rng::gen`.
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 bits of the stream (upper half of a word).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range from which a single value can be drawn — implemented for
+/// `Range` and `RangeInclusive` over the primitive numeric types.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Draws a value from the standard distribution of `T`.
+    #[allow(clippy::should_implement_trait)] // name fixed by the upstream API
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps a word to the unit interval `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps a word to the unit interval `[0, 1)` with 24 bits of precision.
+#[inline]
+fn unit_f32(word: u64) -> f32 {
+    (word >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng.next_u64())
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                (self.start as $wide).wrapping_add(widening_mod(rng.next_u64(), span)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every word is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as $wide).wrapping_add(widening_mod(rng.next_u64(), span)) as $t
+            }
+        }
+    )*};
+}
+
+/// `word % span` — the tiny modulo bias is irrelevant for experiment
+/// workloads and keeps the stream consumption at one word per draw.
+#[inline]
+fn widening_mod(word: u64, span: u64) -> u64 {
+    word % span
+}
+
+int_sample_range!(
+    u8 => u64,
+    u16 => u64,
+    u32 => u64,
+    u64 => u64,
+    usize => u64,
+    i8 => u64,
+    i16 => u64,
+    i32 => u64,
+    i64 => u64,
+);
+
+macro_rules! float_sample_range {
+    ($($t:ty => $unit:ident),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (self.end - self.start) * $unit(rng.next_u64())
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (hi - lo) * $unit(rng.next_u64())
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f64 => unit_f64, f32 => unit_f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&f));
+            let i: i8 = rng.gen_range(-128i8..=127);
+            let _ = i;
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn unit_interval_is_half_open() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_width_exclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v: u64 = rng.gen_range(0..u64::MAX);
+        assert!(v < u64::MAX);
+    }
+}

@@ -1,0 +1,434 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the vendored serde.
+//!
+//! The build environment cannot reach crates.io, so this proc-macro
+//! crate parses the derive input by hand (no `syn`/`quote`) and emits
+//! impls of the vendored serde's `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! - non-generic structs with named fields (maps to `Content::Map`)
+//! - newtype / `#[serde(transparent)]` structs (maps to the inner value)
+//! - multi-field tuple structs (maps to `Content::Seq`)
+//! - non-generic enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like upstream serde's default)
+//!
+//! Generic types are rejected with a compile-time panic; nothing in the
+//! workspace derives on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item being derived on.
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant and the shape of its payload.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Derives the vendored serde's `Serialize` for the annotated item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored serde's `Deserialize` for the annotated item.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    transparent |= attr_is_serde_transparent(&g.stream());
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(split_top_level(&g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Does an attribute body (the tokens inside `#[...]`) spell
+/// `serde(transparent)`?
+fn attr_is_serde_transparent(body: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+/// Splits a token stream at top-level commas, tracking `<...>` nesting
+/// (delimiter groups are already opaque single tokens). Empty chunks
+/// from trailing commas are dropped.
+fn split_top_level(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in stream.clone() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        chunks.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Field names of a named-field body (`a: T, b: U, ...`).
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            field_name(chunk)
+                .unwrap_or_else(|| panic!("serde derive: cannot find field name in {chunk:?}"))
+        })
+        .collect()
+}
+
+/// First identifier of a field chunk after attributes and visibility.
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    loop {
+        match chunk.get(i)? {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#[attr]`
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => return None,
+        }
+    }
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let name = field_name(chunk)
+                .unwrap_or_else(|| panic!("serde derive: cannot find variant name in {chunk:?}"));
+            // The payload group, if any, directly follows the name.
+            let payload = chunk.iter().find_map(|t| match t {
+                TokenTree::Group(g) if g.delimiter() != Delimiter::Bracket => Some(g),
+                _ => None,
+            });
+            let shape = match payload {
+                None => VariantShape::Unit,
+                Some(g) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(&g.stream()))
+                }
+                Some(g) => match split_top_level(&g.stream()).len() {
+                    0 => VariantShape::Unit,
+                    1 => VariantShape::Newtype,
+                    n => VariantShape::Tuple(n),
+                },
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_content(&self.{})", fields[0])
+        }
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_owned(), ::serde::Serialize::to_content(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Content::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str({vn:?}.to_owned()),"
+                        ),
+                        VariantShape::Newtype => format!(
+                            "{name}::{vn}(x0) => ::serde::Content::Map(vec![({vn:?}.to_owned(), \
+                             ::serde::Serialize::to_content(x0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![({vn:?}.to_owned(), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_owned(), ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![({vn:?}.to_owned(), \
+                                 ::serde::Content::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `field: Deserialize::from_content(content.get("field")...)?,`
+fn named_field_initializers(owner: &str, fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content({source}.get({f:?}).ok_or_else(|| \
+                 ::serde::DeError::new(concat!(\"missing field `\", {f:?}, \"` in \", \
+                 {owner:?})))?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) if item.transparent && fields.len() == 1 => format!(
+            "Ok({name} {{ {}: ::serde::Deserialize::from_content(content)? }})",
+            fields[0]
+        ),
+        Kind::NamedStruct(fields) => format!(
+            "Ok({name} {{\n{}\n}})",
+            named_field_initializers(name, fields, "content")
+        ),
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(content)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Seq(items) if items.len() == {n} => Ok({name}({})),\n\
+                 other => Err(::serde::DeError::expected(\"sequence of length {n}\", other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Newtype => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_content(value)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match value {{\n\
+                                 ::serde::Content::Seq(items) if items.len() == {n} => \
+                                 Ok({name}::{vn}({})),\n\
+                                 other => Err(::serde::DeError::expected(\"sequence of length \
+                                 {n}\", other)),\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn} {{\n{}\n}}),",
+                            named_field_initializers(name, fields, "value")
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of \
+                 {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (key, value) = &entries[0];\n\
+                 match key.as_str() {{\n\
+                 {}\n\
+                 other => Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of \
+                 {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 other => Err(::serde::DeError::expected(\"enum {name}\", other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -15,4 +15,16 @@ cargo clippy --all-targets --workspace -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo doc (obs) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q -p rtmdm-obs --no-deps
+
+echo "== rtmdm trace smoke =="
+trace_out="$(mktemp)"
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --out "$trace_out" --format chrome --gantt
+# The export must re-parse through the bundled serde_json (the test
+# binary below does exactly that against the golden scenario too).
+cargo test -q --test observability chrome_export_round_trips_through_serde_json
+rm -f "$trace_out"
+
 echo "CI green."

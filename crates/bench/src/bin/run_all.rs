@@ -2,9 +2,14 @@
 //! reporting per-experiment wall time. Worker count comes from
 //! `RTMDM_THREADS` (default: available parallelism); the emitted tables
 //! are byte-identical for any thread count.
+//!
+//! Besides the tables, the run records telemetry through the global
+//! metrics registry and writes `results/metrics.json` plus the
+//! schema-stable `BENCH_run_all.json` at the repo root (see
+//! [`rtmdm_bench::telemetry`]).
 use std::time::Instant;
 
-use rtmdm_bench::{emit, experiments as e, par};
+use rtmdm_bench::{emit, experiments as e, par, results_dir, telemetry};
 
 type Experiment = (&'static str, fn() -> String);
 
@@ -24,14 +29,43 @@ fn main() {
         ("f9_energy", e::f9_energy),
         ("f10_platforms", e::f10_platforms),
     ];
+    let registry = rtmdm_obs::metrics::global();
+    registry.enable(true);
+    registry.reset();
     println!("run_all: {} workers", par::num_threads());
     let total = Instant::now();
+    let mut records = Vec::with_capacity(experiments.len());
+    let mut before = registry.snapshot();
     for (id, run) in experiments {
         let start = Instant::now();
         let output = run();
         let elapsed = start.elapsed();
         emit(id, &output);
-        println!("-- {id}: {:.2}s", elapsed.as_secs_f64());
+        let after = registry.snapshot();
+        let rec = telemetry::ExperimentMetrics::from_snapshots(id, elapsed, &before, &after);
+        println!(
+            "-- {id}: {:.2}s ({} sim runs, {} sim cycles)",
+            rec.wall_seconds, rec.sim_runs, rec.sim_cycles
+        );
+        records.push(rec);
+        before = after;
     }
-    println!("run_all total: {:.2}s", total.elapsed().as_secs_f64());
+    let doc = telemetry::RunMetrics::new(par::num_threads(), records, registry.snapshot());
+    let json = serde_json::to_string(&doc).expect("metrics serialize");
+    let metrics_path = results_dir().join("metrics.json");
+    if let Err(err) = std::fs::write(&metrics_path, &json) {
+        eprintln!("run_all: cannot write {}: {err}", metrics_path.display());
+    }
+    let summary = serde_json::to_string(&doc.bench_summary()).expect("summary serialize");
+    let summary_path = telemetry::bench_summary_path();
+    if let Err(err) = std::fs::write(&summary_path, &summary) {
+        eprintln!("run_all: cannot write {}: {err}", summary_path.display());
+    }
+    println!(
+        "run_all total: {:.2}s ({} sim runs, {} sim cycles) -> {}",
+        total.elapsed().as_secs_f64(),
+        doc.totals.sim_runs,
+        doc.totals.sim_cycles,
+        metrics_path.display()
+    );
 }

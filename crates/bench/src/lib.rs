@@ -18,6 +18,7 @@
 
 pub mod experiments;
 pub mod par;
+pub mod telemetry;
 
 use std::fs;
 use std::path::PathBuf;

@@ -6,27 +6,47 @@
 //! rtmdm admit    --platform stm32f746-qspi --task kws=ds-cnn@100 --task ic=resnet8@400
 //! rtmdm simulate --platform stm32f746-qspi --task kws=ds-cnn@100 --seconds 2
 //! rtmdm optimize --platform stm32f746-qspi --task kws=ds-cnn@100 --task ic=resnet8@400
+//! rtmdm trace    --platform stm32f746-qspi --task kws=ds-cnn@100 --out t.json --format chrome
 //! ```
 //!
 //! Task syntax: `name=model@period_ms[/deadline_ms][:strategy]` with
 //! strategy one of `rt-mdm`, `fetch-then-compute`, `whole-dnn`,
-//! `all-in-sram`. Exit status: 0 on success (and schedulable for
-//! `admit`), 2 when admission rejects, 1 on usage errors.
+//! `all-in-sram`. The `trace` subcommand simulates like `simulate`,
+//! then exports the event trace as Chrome trace-event JSON (load it in
+//! Perfetto / `chrome://tracing`) or JSONL, and with `--gantt` renders
+//! an ASCII Gantt chart. Exit status: 0 on success (and schedulable
+//! for `admit`), 2 when admission rejects, 1 on usage errors.
 
 use std::process::ExitCode;
 
 use rtmdm_core::{report, FrameworkOptions, RtMdm, Strategy, TaskSpec};
 use rtmdm_dnn::zoo;
 use rtmdm_mcusim::PlatformConfig;
+use rtmdm_obs::Timeline;
 use rtmdm_sched::sim::Policy;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rtmdm <platforms|models|admit|simulate|optimize> \
+        "usage: rtmdm <platforms|models|admit|simulate|optimize|trace> \
          [--platform NAME] [--task name=model@period_ms[/deadline_ms][:strategy]]… \
-         [--seconds S] [--jitter PCT] [--seed N] [--edf] [--work-conserving]"
+         [--seconds S] [--jitter PCT] [--seed N] [--edf] [--work-conserving] \
+         [--out PATH] [--format chrome|jsonl] [--gantt]"
     );
     ExitCode::from(1)
+}
+
+/// Trace export encodings accepted by `--format`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Jsonl,
+}
+
+/// Why argument parsing failed: a malformed invocation (print the
+/// usage string) or a specific mistake worth a targeted diagnostic.
+enum CliError {
+    Usage,
+    Msg(String),
 }
 
 struct Cli {
@@ -36,6 +56,9 @@ struct Cli {
     jitter_pct: u64,
     seed: u64,
     options: FrameworkOptions,
+    out: Option<String>,
+    format: TraceFormat,
+    gantt: bool,
 }
 
 fn parse_strategy(s: &str) -> Option<Strategy> {
@@ -71,38 +94,77 @@ fn parse_task(arg: &str) -> Option<TaskSpec> {
     Some(spec)
 }
 
-fn parse(args: &[String]) -> Option<Cli> {
+fn parse(args: &[String]) -> Result<Cli, CliError> {
     let mut platform = PlatformConfig::stm32f746_qspi();
     let mut tasks = Vec::new();
     let mut seconds = 2u64;
     let mut jitter_pct = 0u64;
     let mut seed = 0u64;
     let mut options = FrameworkOptions::default();
+    let mut out = None;
+    let mut format = TraceFormat::Chrome;
+    let mut gantt = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--platform" => {
-                let name = it.next()?;
+                let name = it.next().ok_or(CliError::Usage)?;
                 platform = PlatformConfig::presets()
                     .into_iter()
-                    .find(|p| &p.name == name)?;
+                    .find(|p| &p.name == name)
+                    .ok_or_else(|| CliError::Msg(format!("unknown platform `{name}`")))?;
             }
-            "--task" => tasks.push(parse_task(it.next()?)?),
-            "--seconds" => seconds = it.next()?.parse().ok()?,
-            "--jitter" => jitter_pct = it.next()?.parse().ok()?,
-            "--seed" => seed = it.next()?.parse().ok()?,
+            "--task" => {
+                let spec = it.next().ok_or(CliError::Usage)?;
+                tasks.push(parse_task(spec).ok_or(CliError::Usage)?);
+            }
+            "--seconds" => {
+                seconds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError::Usage)?;
+            }
+            "--jitter" => {
+                jitter_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError::Usage)?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError::Usage)?;
+            }
             "--edf" => options.policy = Policy::Edf,
             "--work-conserving" => options.work_conserving = true,
-            _ => return None,
+            "--out" => out = Some(it.next().ok_or(CliError::Usage)?.clone()),
+            "--format" => {
+                let f = it.next().ok_or(CliError::Usage)?;
+                format = match f.as_str() {
+                    "chrome" => TraceFormat::Chrome,
+                    "jsonl" => TraceFormat::Jsonl,
+                    _ => {
+                        return Err(CliError::Msg(format!(
+                            "unknown --format `{f}` (expected `chrome` or `jsonl`)"
+                        )))
+                    }
+                };
+            }
+            "--gantt" => gantt = true,
+            _ => return Err(CliError::Usage),
         }
     }
-    Some(Cli {
+    Ok(Cli {
         platform,
         tasks,
         seconds,
         jitter_pct: jitter_pct.min(99),
         seed,
         options,
+        out,
+        format,
+        gantt,
     })
 }
 
@@ -153,6 +215,59 @@ fn cmd_models() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Export a finished run's trace per `--format`/`--out`/`--gantt`.
+///
+/// The written JSON is re-parsed with the bundled `serde_json` before
+/// the command reports success, so a malformed export fails loudly
+/// rather than producing a file Perfetto rejects.
+fn cmd_trace(cli: &Cli, run: &rtmdm_core::RunReport) -> ExitCode {
+    let payload = match cli.format {
+        TraceFormat::Chrome => {
+            let json = rtmdm_obs::chrome_trace_json(&run.result.trace, &run.names);
+            if let Err(e) = serde_json::from_str::<rtmdm_obs::ChromeTrace>(&json) {
+                eprintln!("rtmdm: exported JSON failed validation: {e:?}");
+                return ExitCode::from(2);
+            }
+            json
+        }
+        TraceFormat::Jsonl => {
+            let lines = rtmdm_obs::jsonl(&run.result.trace);
+            for line in lines.lines() {
+                if let Err(e) = serde_json::from_str::<rtmdm_mcusim::TraceEvent>(line) {
+                    eprintln!("rtmdm: exported JSONL failed validation: {e:?}");
+                    return ExitCode::from(2);
+                }
+            }
+            lines
+        }
+    };
+    match &cli.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &payload) {
+                eprintln!("rtmdm: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {} ({} events, {} bytes)",
+                path,
+                run.result.trace.len(),
+                payload.len()
+            );
+        }
+        None => print!("{payload}"),
+    }
+    if cli.gantt {
+        let tl = Timeline::from_trace(&run.result.trace, run.result.horizon);
+        println!("{}", rtmdm_obs::gantt::render(&tl, 72, &run.names));
+        let s = tl.summary();
+        println!(
+            "cpu {} busy / {} idle, dma {} busy, overlap {} of {} horizon",
+            s.cpu_busy, s.cpu_idle, s.dma_busy, s.overlap, s.horizon
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -161,11 +276,16 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "platforms" => return cmd_platforms(),
         "models" => return cmd_models(),
-        "admit" | "simulate" | "optimize" => {}
+        "admit" | "simulate" | "optimize" | "trace" => {}
         _ => return usage(),
     }
-    let Some(cli) = parse(&args[1..]) else {
-        return usage();
+    let cli = match parse(&args[1..]) {
+        Ok(cli) => cli,
+        Err(CliError::Usage) => return usage(),
+        Err(CliError::Msg(m)) => {
+            eprintln!("rtmdm: {m}");
+            return ExitCode::from(1);
+        }
     };
     if cli.tasks.is_empty() {
         eprintln!("rtmdm: at least one --task is required");
@@ -209,6 +329,16 @@ fn main() -> ExitCode {
                     println!("misses: {}", run.deadline_misses());
                     ExitCode::SUCCESS
                 }
+                Err(e) => {
+                    eprintln!("rtmdm: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "trace" => {
+            let scale_min = 1_000_000 - cli.jitter_pct * 10_000;
+            match fw.simulate_with(cli.seconds * 1_000_000, scale_min, cli.seed) {
+                Ok(run) => cmd_trace(&cli, &run),
                 Err(e) => {
                     eprintln!("rtmdm: {e}");
                     ExitCode::from(2)

@@ -94,6 +94,68 @@ fn bad_usage_exits_one() {
 }
 
 #[test]
+fn trace_exports_chrome_json() {
+    let dir = std::env::temp_dir().join("rtmdm-cli-trace-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.json");
+    let out = rtmdm(&[
+        "trace",
+        "--platform",
+        "stm32f746-qspi",
+        "--task",
+        "kws=ds-cnn@100",
+        "--seconds",
+        "1",
+        "--out",
+        path.to_str().expect("utf-8 path"),
+        "--format",
+        "chrome",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("trace written");
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_jsonl_and_gantt_go_to_stdout() {
+    let out = rtmdm(&[
+        "trace",
+        "--task",
+        "kws=ds-cnn@100",
+        "--seconds",
+        "1",
+        "--format",
+        "jsonl",
+        "--gantt",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first = stdout.lines().next().expect("nonempty");
+    assert!(first.starts_with('{') && first.ends_with('}'), "{first}");
+    assert!(stdout.contains("CPU |"), "{stdout}");
+    assert!(stdout.contains("DMA |"), "{stdout}");
+}
+
+#[test]
+fn unknown_trace_format_gets_specific_error() {
+    let out = rtmdm(&["trace", "--task", "kws=ds-cnn@100", "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown --format `yaml` (expected `chrome` or `jsonl`)"),
+        "{stderr}"
+    );
+    // Specific diagnostic, not the generic usage banner.
+    assert!(!stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
 fn strategy_suffix_is_honoured() {
     let out = rtmdm(&[
         "admit",

@@ -249,6 +249,15 @@ impl Model {
             );
             outputs[node.id.0] = Some(out);
         }
+        // Telemetry: a single relaxed atomic load when the process-wide
+        // registry is disabled (the default), so inference benchmarks
+        // are unperturbed.
+        let g = rtmdm_obs::metrics::global();
+        if g.is_enabled() {
+            g.add("dnn.inferences", 1);
+            g.add("dnn.layers_executed", self.nodes.len() as u64);
+            g.add("dnn.macs_executed", self.total_macs());
+        }
         Ok(outputs.pop().flatten().unwrap_or_else(|| input.clone()))
     }
 }

@@ -118,8 +118,14 @@ pub enum TraceKind {
         /// Task that took it.
         by: TaskId,
     },
-    /// The CPU went idle (no ready segment).
+    /// The CPU went idle (no ready segment). Paired with the next
+    /// [`TraceKind::CpuIdleEnd`]; a trace may end mid-idle, in which
+    /// case consumers clamp the interval at their analysis horizon
+    /// (see [`Trace::idle_intervals`]).
     CpuIdle,
+    /// The CPU left idle (a segment is about to start). Closes the most
+    /// recent [`TraceKind::CpuIdle`].
+    CpuIdleEnd,
 }
 
 /// A timestamped [`TraceKind`].
@@ -302,6 +308,49 @@ impl Trace {
         ((u128::from(busy.get()) * 1_000_000) / u128::from(horizon.get())) as u64
     }
 
+    /// CPU idle periods as `(start, end)` pairs derived from
+    /// [`TraceKind::CpuIdle`]/[`TraceKind::CpuIdleEnd`] events, without
+    /// scanning ahead past the pair. An idle period still open when the
+    /// trace ends is clamped to `horizon` (the simulator stops emitting
+    /// events at the horizon, so a trailing `CpuIdle` has no paired
+    /// end). Periods starting at or after `horizon` are dropped.
+    pub fn idle_intervals(&self, horizon: Cycles) -> Vec<(Cycles, Cycles)> {
+        let mut out = Vec::new();
+        let mut open: Option<Cycles> = None;
+        for e in &self.events {
+            match e.kind {
+                TraceKind::CpuIdle => {
+                    // Duplicate opens keep the earliest start.
+                    open.get_or_insert(e.time);
+                }
+                TraceKind::CpuIdleEnd => {
+                    if let Some(start) = open.take() {
+                        let end = e.time.min(horizon);
+                        if start < end {
+                            out.push((start, end));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            if start < horizon {
+                out.push((start, horizon));
+            }
+        }
+        out
+    }
+
+    /// Total idle cycles over `[0, horizon)` (the sum of
+    /// [`Trace::idle_intervals`]).
+    pub fn cpu_idle_cycles(&self, horizon: Cycles) -> Cycles {
+        self.idle_intervals(horizon)
+            .iter()
+            .map(|(s, e)| e.saturating_sub(*s))
+            .sum()
+    }
+
     /// Renders a compact ASCII Gantt chart of segment executions, one row
     /// per task, `width` columns spanning `[0, horizon]`. Intended for
     /// debugging and example output, not for parsing.
@@ -477,6 +526,42 @@ mod tests {
         let mut t = Trace::new();
         t.push(cy(10), TraceKind::CpuIdle);
         t.push(cy(5), TraceKind::CpuIdle);
+    }
+
+    #[test]
+    fn idle_intervals_pair_up_without_scanning_ahead() {
+        let mut t = Trace::new();
+        t.push(cy(10), TraceKind::CpuIdle);
+        t.push(cy(25), TraceKind::CpuIdleEnd);
+        t.push(cy(40), TraceKind::CpuIdle);
+        t.push(cy(60), TraceKind::CpuIdleEnd);
+        assert_eq!(
+            t.idle_intervals(cy(100)),
+            vec![(cy(10), cy(25)), (cy(40), cy(60))]
+        );
+        assert_eq!(t.cpu_idle_cycles(cy(100)), cy(35));
+    }
+
+    #[test]
+    fn trace_ending_mid_idle_clamps_to_horizon() {
+        // Regression: the simulator stops at the horizon, so a trailing
+        // CpuIdle has no paired end — the interval must clamp, not
+        // vanish or panic.
+        let mut t = Trace::new();
+        t.push(cy(10), TraceKind::CpuIdle);
+        t.push(cy(30), TraceKind::CpuIdleEnd);
+        t.push(cy(70), TraceKind::CpuIdle);
+        assert_eq!(
+            t.idle_intervals(cy(100)),
+            vec![(cy(10), cy(30)), (cy(70), cy(100))]
+        );
+        assert_eq!(t.cpu_idle_cycles(cy(100)), cy(50));
+        // An idle period opening exactly at the horizon is dropped, and
+        // an unmatched end is ignored.
+        let mut u = Trace::new();
+        u.push(cy(5), TraceKind::CpuIdleEnd);
+        u.push(cy(100), TraceKind::CpuIdle);
+        assert_eq!(u.idle_intervals(cy(100)), vec![]);
     }
 
     #[test]

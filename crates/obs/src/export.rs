@@ -1,0 +1,334 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and
+//! line-delimited JSON (JSONL).
+//!
+//! The Chrome export lays the schedule out on fixed lanes:
+//!
+//! - `tid 1` (**CPU**): one complete event (`ph: "X"`) per
+//!   `SegmentStarted`/`SegmentCompleted` pair — the CPU's view of the
+//!   schedule;
+//! - `tid 2` (**DMA**): one complete event per
+//!   `FetchStarted`/`FetchCompleted` pair;
+//! - `tid 10 + k` (one lane per task `k`): one complete event per
+//!   finished job, plus instant events (`ph: "i"`) for deadline misses
+//!   and preemptions.
+//!
+//! Timestamps and durations are raw simulation cycles (Perfetto treats
+//! them as microseconds; relative magnitudes are what matters).
+//! Intervals left open at the end of the trace are omitted. Export is a
+//! pure function of the trace, so output bytes are deterministic.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rtmdm_mcusim::{Cycles, JobId, SegmentId, TaskId, Trace, TraceKind};
+
+/// Lane (`tid`) of the aggregate CPU row in the Chrome export.
+pub const TID_CPU: u64 = 1;
+/// Lane (`tid`) of the DMA row in the Chrome export.
+pub const TID_DMA: u64 = 2;
+/// Lane of task `k` is `TID_TASK_BASE + k` in the Chrome export.
+pub const TID_TASK_BASE: u64 = 10;
+
+/// One event in the Chrome trace-event format.
+///
+/// The subset of fields emitted here (`name`, `cat`, `ph`, `ts`, `dur`,
+/// `pid`, `tid`) is what Perfetto's JSON importer needs; instant events
+/// carry `dur: 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Human-readable slice label.
+    pub name: String,
+    /// Event category: `segment`, `fetch`, `job`, `miss`, or `preempt`.
+    pub cat: String,
+    /// Phase: `X` (complete) or `i` (instant).
+    pub ph: String,
+    /// Start timestamp in simulation cycles.
+    pub ts: u64,
+    /// Duration in simulation cycles (0 for instants).
+    pub dur: u64,
+    /// Process id (always 0 — one simulated MCU).
+    pub pid: u64,
+    /// Lane id (see [`TID_CPU`], [`TID_DMA`], [`TID_TASK_BASE`]).
+    pub tid: u64,
+}
+
+/// Root object of a Chrome trace-event file.
+#[allow(non_snake_case)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// The event list (field name fixed by the Chrome trace format).
+    pub traceEvents: Vec<ChromeEvent>,
+}
+
+fn task_label(names: &[String], task: TaskId) -> String {
+    names
+        .get(task.0)
+        .cloned()
+        .unwrap_or_else(|| task.to_string())
+}
+
+/// Converts a trace to the Chrome trace-event object.
+///
+/// `task_names` labels lanes and slices by task index; tasks beyond the
+/// slice fall back to `T{k}`.
+pub fn chrome_trace(trace: &Trace, task_names: &[String]) -> ChromeTrace {
+    let mut events = Vec::new();
+    let mut open_seg: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
+    let mut open_fetch: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
+    let mut open_job: BTreeMap<(TaskId, JobId), Cycles> = BTreeMap::new();
+
+    for e in trace.events() {
+        match e.kind {
+            TraceKind::SegmentStarted { task, job, segment } => {
+                open_seg.insert((task, job, segment), e.time);
+            }
+            TraceKind::SegmentCompleted { task, job, segment } => {
+                if let Some(start) = open_seg.remove(&(task, job, segment)) {
+                    events.push(ChromeEvent {
+                        name: format!("{} {}", task_label(task_names, task), segment),
+                        cat: "segment".to_owned(),
+                        ph: "X".to_owned(),
+                        ts: start.get(),
+                        dur: e.time.saturating_sub(start).get(),
+                        pid: 0,
+                        tid: TID_CPU,
+                    });
+                }
+            }
+            TraceKind::FetchStarted {
+                task, job, segment, ..
+            } => {
+                open_fetch.insert((task, job, segment), e.time);
+            }
+            TraceKind::FetchCompleted { task, job, segment } => {
+                if let Some(start) = open_fetch.remove(&(task, job, segment)) {
+                    events.push(ChromeEvent {
+                        name: format!("fetch {} {}", task_label(task_names, task), segment),
+                        cat: "fetch".to_owned(),
+                        ph: "X".to_owned(),
+                        ts: start.get(),
+                        dur: e.time.saturating_sub(start).get(),
+                        pid: 0,
+                        tid: TID_DMA,
+                    });
+                }
+            }
+            TraceKind::JobReleased { task, job, .. } => {
+                open_job.insert((task, job), e.time);
+            }
+            TraceKind::JobCompleted { task, job, .. } => {
+                if let Some(release) = open_job.remove(&(task, job)) {
+                    events.push(ChromeEvent {
+                        name: format!("{} {}", task_label(task_names, task), job),
+                        cat: "job".to_owned(),
+                        ph: "X".to_owned(),
+                        ts: release.get(),
+                        dur: e.time.saturating_sub(release).get(),
+                        pid: 0,
+                        tid: TID_TASK_BASE + task.0 as u64,
+                    });
+                }
+            }
+            TraceKind::DeadlineMissed { task, job } => {
+                events.push(ChromeEvent {
+                    name: format!("miss {} {}", task_label(task_names, task), job),
+                    cat: "miss".to_owned(),
+                    ph: "i".to_owned(),
+                    ts: e.time.get(),
+                    dur: 0,
+                    pid: 0,
+                    tid: TID_TASK_BASE + task.0 as u64,
+                });
+            }
+            TraceKind::Preempted { task, by } => {
+                events.push(ChromeEvent {
+                    name: format!(
+                        "{} preempted by {}",
+                        task_label(task_names, task),
+                        task_label(task_names, by)
+                    ),
+                    cat: "preempt".to_owned(),
+                    ph: "i".to_owned(),
+                    ts: e.time.get(),
+                    dur: 0,
+                    pid: 0,
+                    tid: TID_TASK_BASE + task.0 as u64,
+                });
+            }
+            _ => {}
+        }
+    }
+    ChromeTrace {
+        traceEvents: events,
+    }
+}
+
+/// Serializes a trace straight to Chrome trace-event JSON text.
+pub fn chrome_trace_json(trace: &Trace, task_names: &[String]) -> String {
+    serde_json::to_string(&chrome_trace(trace, task_names))
+        .expect("chrome trace serialization is infallible")
+}
+
+/// Serializes a trace to JSONL: one raw [`rtmdm_mcusim::TraceEvent`]
+/// JSON object per line (newline-terminated). Each line round-trips
+/// through the vendored serde_json back into a `TraceEvent`.
+pub fn jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in trace.events() {
+        out.push_str(&serde_json::to_string(e).expect("trace event serialization is infallible"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_mcusim::TraceEvent;
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        let (t0, j0) = (TaskId(0), JobId(0));
+        t.push(
+            cy(0),
+            TraceKind::JobReleased {
+                task: t0,
+                job: j0,
+                deadline: cy(200),
+            },
+        );
+        t.push(
+            cy(0),
+            TraceKind::FetchStarted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+                bytes: 256,
+            },
+        );
+        t.push(
+            cy(20),
+            TraceKind::FetchCompleted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(20),
+            TraceKind::SegmentStarted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(70),
+            TraceKind::SegmentCompleted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(70),
+            TraceKind::JobCompleted {
+                task: t0,
+                job: j0,
+                response: cy(70),
+            },
+        );
+        t.push(
+            cy(90),
+            TraceKind::Preempted {
+                task: t0,
+                by: TaskId(1),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn one_complete_event_per_segment_pair() {
+        let ct = chrome_trace(&sample(), &["kws".to_owned()]);
+        let segs: Vec<_> = ct
+            .traceEvents
+            .iter()
+            .filter(|e| e.cat == "segment")
+            .collect();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].ph, "X");
+        assert_eq!(segs[0].ts, 20);
+        assert_eq!(segs[0].dur, 50);
+        assert_eq!(segs[0].tid, TID_CPU);
+        assert_eq!(segs[0].name, "kws S0");
+    }
+
+    #[test]
+    fn lanes_and_categories_are_assigned() {
+        let ct = chrome_trace(&sample(), &[]);
+        let fetch = ct
+            .traceEvents
+            .iter()
+            .find(|e| e.cat == "fetch")
+            .expect("fetch lane");
+        assert_eq!(fetch.tid, TID_DMA);
+        assert_eq!(fetch.dur, 20);
+        let job = ct
+            .traceEvents
+            .iter()
+            .find(|e| e.cat == "job")
+            .expect("job lane");
+        assert_eq!(job.tid, TID_TASK_BASE);
+        assert_eq!(job.dur, 70);
+        assert_eq!(job.name, "T0 J0");
+        let preempt = ct
+            .traceEvents
+            .iter()
+            .find(|e| e.cat == "preempt")
+            .expect("instant");
+        assert_eq!(preempt.ph, "i");
+        assert_eq!(preempt.dur, 0);
+    }
+
+    #[test]
+    fn unpaired_opens_are_omitted() {
+        let mut t = Trace::new();
+        t.push(
+            cy(10),
+            TraceKind::SegmentStarted {
+                task: TaskId(0),
+                job: JobId(0),
+                segment: SegmentId(0),
+            },
+        );
+        let ct = chrome_trace(&t, &[]);
+        assert!(ct.traceEvents.is_empty());
+    }
+
+    #[test]
+    fn chrome_json_round_trips() {
+        let names = vec!["kws".to_owned()];
+        let json = chrome_trace_json(&sample(), &names);
+        let back: ChromeTrace = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, chrome_trace(&sample(), &names));
+        assert!(json.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn jsonl_lines_round_trip() {
+        let trace = sample();
+        let text = jsonl(&trace);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), trace.len());
+        for (line, original) in lines.iter().zip(trace.events()) {
+            let back: TraceEvent = serde_json::from_str(line).expect("parse line");
+            assert_eq!(back, *original);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! ASCII Gantt rendering of a [`Timeline`].
+//!
+//! One row per task (`#` = computing), one aggregate CPU row, and one
+//! DMA row (`=` = streaming), all over the same `[0, horizon)` axis so
+//! stalls and overlap line up visually. Intended for terminals and
+//! docs, not for parsing.
+
+use std::fmt::Write as _;
+
+use rtmdm_mcusim::Cycles;
+
+use crate::timeline::Timeline;
+
+/// Renders `timeline` as an ASCII Gantt chart `width` columns wide.
+///
+/// `task_names` labels task rows by index (tasks beyond the slice fall
+/// back to `T{k}`).
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_mcusim::{Cycles, JobId, SegmentId, TaskId, Trace, TraceKind};
+/// use rtmdm_obs::{gantt, Timeline};
+///
+/// let mut trace = Trace::new();
+/// let (t, j, s) = (TaskId(0), JobId(0), SegmentId(0));
+/// trace.push(Cycles::new(0), TraceKind::SegmentStarted { task: t, job: j, segment: s });
+/// trace.push(Cycles::new(50), TraceKind::SegmentCompleted { task: t, job: j, segment: s });
+/// let tl = Timeline::from_trace(&trace, Cycles::new(100));
+/// let chart = gantt::render(&tl, 20, &["kws".to_owned()]);
+/// assert!(chart.contains("kws"));
+/// assert!(chart.contains('#'));
+/// ```
+pub fn render(timeline: &Timeline, width: usize, task_names: &[String]) -> String {
+    assert!(width > 0, "gantt width must be positive");
+    let horizon = timeline.horizon();
+    let col = |t: Cycles| -> usize {
+        if horizon.is_zero() {
+            0
+        } else {
+            ((u128::from(t.get()) * width as u128) / u128::from(horizon.get()))
+                .min(width as u128 - 1) as usize
+        }
+    };
+    let paint = |row: &mut [char], start: Cycles, end: Cycles, mark: char| {
+        if end <= start {
+            return;
+        }
+        for cell in row
+            .iter_mut()
+            .take(col(end.saturating_sub(Cycles::new(1))) + 1)
+            .skip(col(start))
+        {
+            *cell = mark;
+        }
+    };
+
+    let mut labels: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<char>> = Vec::new();
+
+    // Aggregate CPU row, then one row per task, then the DMA row.
+    let mut cpu = vec!['.'; width];
+    for iv in timeline.cpu_intervals() {
+        paint(&mut cpu, iv.start, iv.end, '#');
+    }
+    labels.push("CPU".to_owned());
+    rows.push(cpu);
+
+    for &task in timeline.tasks().keys() {
+        let mut row = vec!['.'; width];
+        for s in timeline.segments().iter().filter(|s| s.task == task) {
+            paint(&mut row, s.start, s.end, '#');
+        }
+        let label = task_names
+            .get(task.0)
+            .cloned()
+            .unwrap_or_else(|| task.to_string());
+        labels.push(label);
+        rows.push(row);
+    }
+
+    let mut dma = vec!['.'; width];
+    for iv in timeline.dma_intervals() {
+        paint(&mut dma, iv.start, iv.end, '=');
+    }
+    labels.push("DMA".to_owned());
+    rows.push(dma);
+
+    let pad = labels.iter().map(String::len).max().unwrap_or(3);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>pad$}  0 .. {} cycles ({} per column)",
+        "",
+        horizon.get(),
+        horizon.get().div_ceil(width as u64),
+    );
+    for (label, row) in labels.iter().zip(&rows) {
+        let _ = writeln!(out, "{label:>pad$} |{}|", row.iter().collect::<String>());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_mcusim::{JobId, SegmentId, TaskId, Trace, TraceKind};
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn trace_two_tasks() -> Trace {
+        let mut t = Trace::new();
+        for (task, start, end) in [(0usize, 0u64, 50u64), (1, 50, 100)] {
+            t.push(
+                cy(start),
+                TraceKind::SegmentStarted {
+                    task: TaskId(task),
+                    job: JobId(0),
+                    segment: SegmentId(0),
+                },
+            );
+            t.push(
+                cy(end),
+                TraceKind::SegmentCompleted {
+                    task: TaskId(task),
+                    job: JobId(0),
+                    segment: SegmentId(0),
+                },
+            );
+        }
+        t.push(
+            cy(100),
+            TraceKind::FetchStarted {
+                task: TaskId(0),
+                job: JobId(1),
+                segment: SegmentId(0),
+                bytes: 64,
+            },
+        );
+        t.push(
+            cy(150),
+            TraceKind::FetchCompleted {
+                task: TaskId(0),
+                job: JobId(1),
+                segment: SegmentId(0),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn renders_cpu_task_and_dma_rows() {
+        let tl = Timeline::from_trace(&trace_two_tasks(), cy(200));
+        let chart = render(&tl, 40, &["kws".to_owned(), "vww".to_owned()]);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 5); // header + CPU + 2 tasks + DMA
+        assert!(lines[1].trim_start().starts_with("CPU"));
+        assert!(lines[2].trim_start().starts_with("kws"));
+        assert!(lines[3].trim_start().starts_with("vww"));
+        assert!(lines[4].trim_start().starts_with("DMA"));
+        assert!(lines[1].contains('#'));
+        assert!(lines[4].contains('='));
+    }
+
+    #[test]
+    fn unnamed_tasks_fall_back_to_ids() {
+        let tl = Timeline::from_trace(&trace_two_tasks(), cy(200));
+        let chart = render(&tl, 10, &[]);
+        assert!(chart.contains("T0"));
+        assert!(chart.contains("T1"));
+    }
+
+    #[test]
+    fn columns_scale_with_time() {
+        let tl = Timeline::from_trace(&trace_two_tasks(), cy(200));
+        let chart = render(&tl, 4, &[]);
+        // Task 0 computes in [0,50) → exactly the first of 4 columns.
+        let t0_row = chart
+            .lines()
+            .find(|l| l.trim_start().starts_with("T0"))
+            .expect("row");
+        assert!(t0_row.contains("|#...|"), "{chart}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let tl = Timeline::from_trace(&Trace::new(), cy(10));
+        let _ = render(&tl, 0, &[]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rtmdm-obs — observability for the RT-MDM reproduction
+//!
+//! RT-MDM's claim is that compute scheduling and DMA weight staging can
+//! be co-scheduled under deadlines; proving that (and every future
+//! performance change) needs structured visibility into the schedule,
+//! not eyeballs on ASCII tables. This crate provides the instrumentation
+//! layer the rest of the workspace records into:
+//!
+//! - [`metrics`] — a dependency-free registry of monotonic counters,
+//!   gauges, and fixed-bucket histograms with a zero-overhead disabled
+//!   mode, plus a process-global instance ([`metrics::global`]) the
+//!   simulator and DNN engine flush into;
+//! - [`timeline`] — exact interval analytics over a
+//!   [`Trace`](rtmdm_mcusim::Trace): per-task Gantt slices, CPU/DMA
+//!   utilization, idle intervals, and the fetch/compute overlap ratio,
+//!   with the invariant `cpu_busy + cpu_idle == horizon` by construction;
+//! - [`gantt`] — an ASCII Gantt renderer over a timeline (the `rtmdm
+//!   trace --gantt` output);
+//! - [`export`] — serializers to Chrome trace-event JSON (loadable in
+//!   Perfetto / `chrome://tracing`) and JSONL.
+//!
+//! Everything here is integer-exact and deterministic: derived metrics
+//! are pure functions of the trace, and registry totals are sums, so
+//! results are byte-identical for any `RTMDM_THREADS` setting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod gantt;
+pub mod metrics;
+pub mod timeline;
+
+pub use export::{chrome_trace, chrome_trace_json, jsonl, ChromeEvent, ChromeTrace};
+pub use metrics::{global, GlobalRegistry, Histogram, Registry, Snapshot, HISTOGRAM_BUCKETS};
+pub use timeline::{FetchSlice, Interval, SegmentSlice, TaskTimeline, Timeline, TimelineSummary};

@@ -1,0 +1,459 @@
+//! Dependency-free metrics registry: monotonic counters, gauges, and
+//! fixed-bucket histograms, with a zero-overhead disabled mode.
+//!
+//! Two flavours cover the workspace's needs:
+//!
+//! - [`Registry`]: a plain, single-owner registry for code that threads a
+//!   `&mut Registry` through (the staging pipeline, experiment probes).
+//!   A disabled registry turns every record operation into a branch on
+//!   one `bool` and nothing else — no allocation, no map lookup.
+//! - [`global`]: a process-wide registry behind atomics, for
+//!   instrumentation points that cannot thread a registry through
+//!   (the simulator flushes per-run totals here, the DNN engine counts
+//!   inferences). Disabled (the default) it costs one relaxed atomic
+//!   load per record call; all recorded quantities are sums, so totals
+//!   are identical for any worker-thread count or interleaving.
+//!
+//! Snapshots ([`Snapshot`]) are plain serializable data: experiments
+//! diff them to attribute counts, and `run_all` embeds them in
+//! `results/metrics.json`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets in a [`Histogram`] (log₂ buckets over the `u64`
+/// range, matching the simulator's response histograms).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-bucket logarithmic histogram: bucket `k` counts values in
+/// `[2^k, 2^(k+1))`, bucket 0 covers `0..2`, the last bucket absorbs
+/// everything above `2^31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Index of the bucket `value` falls into.
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.max(1).leading_zeros() as usize - 1).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Records `n` observations of `value` at once.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.buckets[Self::bucket_of(value)] += n;
+    }
+
+    /// Adds another histogram's counts bucket-wise (exact merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Adds raw bucket counts (e.g. from the simulator's per-task
+    /// response histograms, which use the same log₂ bucketing).
+    pub fn merge_buckets(&mut self, counts: &[u64; HISTOGRAM_BUCKETS]) {
+        for (b, o) in self.buckets.iter_mut().zip(counts) {
+            *b += o;
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound of the bucket containing the `pct`-th percentile
+    /// observation (inclusive bucket top), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not in `1..=100`.
+    pub fn percentile_upper(&self, pct: u64) -> Option<u64> {
+        assert!((1..=100).contains(&pct), "percentile must be 1..=100");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = u64::try_from((u128::from(total) * u128::from(pct)).div_ceil(100))
+            .expect("percentile rank exceeds u64");
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(2u64.saturating_pow(k as u32 + 1).saturating_sub(1));
+            }
+        }
+        None
+    }
+}
+
+/// A single-owner metrics registry.
+///
+/// Names are free-form dotted strings (`"sim.cpu_busy_cycles"`).
+/// Counters are monotonic `u64` sums, gauges are last-write-wins `i64`
+/// levels, histograms are [`Histogram`]s. A registry created with
+/// [`Registry::disabled`] ignores every record call.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    enabled: bool,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Creates an enabled, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            ..Registry::default()
+        }
+    }
+
+    /// Creates a registry whose record operations are no-ops.
+    pub fn disabled() -> Self {
+        Registry::default()
+    }
+
+    /// Whether record operations have any effect.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `delta` to the counter `name` (created at zero on first use).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Merges another histogram bucket-wise into the histogram `name`.
+    pub fn merge_histogram(&mut self, name: &str, other: &Histogram) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .merge(other);
+    }
+
+    /// Current value of the counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A serializable copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// Adds every count of `snap` into this registry (counters and
+    /// histograms sum; gauges take `snap`'s value).
+    pub fn merge_snapshot(&mut self, snap: &Snapshot) {
+        if !self.enabled {
+            return;
+        }
+        for (name, v) in &snap.counters {
+            self.add(name, *v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &snap.histograms {
+            self.merge_histogram(name, h);
+        }
+    }
+}
+
+/// A point-in-time, serializable copy of a registry's contents.
+///
+/// Snapshots support exact diffing ([`Snapshot::counter_delta`]) so the
+/// benchmark harness can attribute counter growth to individual
+/// experiments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotonic counter totals, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels, by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram contents, by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Value of the counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Growth of the counter `name` since `earlier` (saturating).
+    pub fn counter_delta(&self, earlier: &Snapshot, name: &str) -> u64 {
+        self.counter(name).saturating_sub(earlier.counter(name))
+    }
+}
+
+/// The process-wide registry (see [`global`]).
+///
+/// Record calls are no-ops until [`GlobalRegistry::enable`] is called;
+/// the disabled fast path is a single relaxed atomic load. Enabled, each
+/// call takes a short mutex — instrumentation sites are expected to
+/// batch (the simulator flushes one set of totals per run, not per
+/// event), so the lock is not on any hot path.
+#[derive(Debug, Default)]
+pub struct GlobalRegistry {
+    enabled: AtomicBool,
+    inner: Mutex<Registry>,
+}
+
+impl GlobalRegistry {
+    /// Turns recording on or off. Counts recorded so far are kept.
+    pub fn enable(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+        // The inner registry must accept merges while the global switch
+        // is on; its own flag mirrors the atomic one.
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.enabled = on;
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Adds `delta` to the counter `name`. No-op while disabled.
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .add(name, delta);
+    }
+
+    /// Records `value` into the histogram `name`. No-op while disabled.
+    pub fn observe(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .observe(name, value);
+    }
+
+    /// Merges raw log₂ bucket counts into the histogram `name` (exact;
+    /// used by the simulator to flush its per-task response histograms).
+    pub fn merge_buckets(&self, name: &str, counts: &[u64; HISTOGRAM_BUCKETS]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if inner.enabled {
+            inner
+                .histograms
+                .entry(name.to_owned())
+                .or_default()
+                .merge_buckets(counts);
+        }
+    }
+
+    /// A copy of everything recorded so far (works while disabled too).
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .snapshot()
+    }
+
+    /// Clears every recorded value, keeping the enabled state.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let enabled = inner.enabled;
+        *inner = Registry::default();
+        inner.enabled = enabled;
+    }
+}
+
+/// The process-wide registry. Disabled by default; `run_all` and other
+/// telemetry consumers call `global().enable(true)` up front.
+pub fn global() -> &'static GlobalRegistry {
+    static GLOBAL: OnceLock<GlobalRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(GlobalRegistry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let mut r = Registry::new();
+        r.add("a", 2);
+        r.add("a", 3);
+        r.add("b", 1);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        r.add("a", 10);
+        assert_eq!(r.snapshot().counter_delta(&snap, "a"), 10);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = Registry::disabled();
+        r.add("a", 7);
+        r.set_gauge("g", -3);
+        r.observe("h", 100);
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let mut r = Registry::new();
+        r.set_gauge("level", 4);
+        r.set_gauge("level", -2);
+        assert_eq!(r.snapshot().gauges.get("level"), Some(&-2));
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(30); // bucket [16, 32)
+        }
+        h.record(1_000); // bucket [512, 1024)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_upper(50), Some(31));
+        assert_eq!(h.percentile_upper(100), Some(1023));
+        assert_eq!(Histogram::new().percentile_upper(95), None);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(700);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let mut c = Histogram::new();
+        c.merge_buckets(a.buckets());
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let mut r = Registry::new();
+        r.add("sim.runs", 3);
+        r.observe("lat", 250);
+        r.set_gauge("workers", 8);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: Snapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_snapshot_sums_counters() {
+        let mut a = Registry::new();
+        a.add("x", 1);
+        let mut b = Registry::new();
+        b.add("x", 2);
+        b.observe("h", 9);
+        a.merge_snapshot(&b.snapshot());
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(
+            a.snapshot().histograms.get("h").map(Histogram::count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn global_registry_is_gated_by_enable() {
+        // Note: the global registry is shared across the test binary;
+        // use unique names and restore the disabled state.
+        let g = global();
+        g.add("test.gated", 5);
+        assert_eq!(g.snapshot().counter("test.gated"), 0);
+        g.enable(true);
+        g.add("test.gated", 5);
+        g.observe("test.hist", 16);
+        assert_eq!(g.snapshot().counter("test.gated"), 5);
+        assert_eq!(
+            g.snapshot()
+                .histograms
+                .get("test.hist")
+                .map(Histogram::count),
+            Some(1)
+        );
+        g.enable(false);
+        g.add("test.gated", 5);
+        assert_eq!(g.snapshot().counter("test.gated"), 5);
+    }
+}

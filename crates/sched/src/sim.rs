@@ -170,6 +170,36 @@ impl ResponseHist {
     }
 }
 
+/// Aggregate resource metrics of one run, accounted exactly in the
+/// simulator hot loop (not re-derived from the trace).
+///
+/// Wall time is partitioned: `cpu_busy_cycles + cpu_idle_cycles` equals
+/// the horizon exactly, every run, and all values are integer sums — so
+/// they are byte-identical across `RTMDM_THREADS` settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Wall cycles the CPU held a segment (compute + context-switch
+    /// charge + contention stall).
+    pub cpu_busy_cycles: Cycles,
+    /// Wall cycles the CPU sat idle: exactly `horizon - cpu_busy_cycles`.
+    pub cpu_idle_cycles: Cycles,
+    /// Wall cycles the DMA channel was streaming a transfer.
+    pub dma_busy_cycles: Cycles,
+    /// CPU wall cycles lost to bus contention (wall time minus work
+    /// retired while both masters were active).
+    pub cpu_stall_cycles: Cycles,
+    /// DMA wall cycles lost to bus contention.
+    pub dma_stall_cycles: Cycles,
+    /// Segment-boundary preemptions across all tasks.
+    pub preemptions: u64,
+    /// Segment transitions whose next weights were already staged when
+    /// the previous segment retired (the double buffer hid the fetch).
+    pub prefetch_hits: u64,
+    /// Segment transitions (and lead-in fetches) that had to wait on
+    /// the DMA before compute could proceed.
+    pub blocking_fetches: u64,
+}
+
 /// Outcome of a simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -179,6 +209,8 @@ pub struct SimResult {
     pub horizon: Cycles,
     /// Per-task statistics, index-aligned with the task set.
     pub stats: Vec<TaskStats>,
+    /// Aggregate resource metrics of the run.
+    pub metrics: SimMetrics,
 }
 
 impl SimResult {
@@ -277,6 +309,9 @@ struct Sim<'a> {
     last_cpu_task: Option<usize>,
     trace: Trace,
     stats: Vec<TaskStats>,
+    metrics: SimMetrics,
+    /// Whether a [`TraceKind::CpuIdle`] is open (no `CpuIdleEnd` yet).
+    idle_open: bool,
     rng: StdRng,
 }
 
@@ -326,17 +361,58 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
         last_cpu_task: None,
         trace: Trace::new(),
         stats: vec![TaskStats::default(); ts.len()],
+        metrics: SimMetrics::default(),
+        idle_open: false,
         rng: StdRng::seed_from_u64(config.seed),
     };
     for i in 0..ts.len() {
         sim.timed.push(Cycles::ZERO, TimedEvent::Release(i));
     }
     sim.run();
-    SimResult {
+    let result = SimResult {
         trace: sim.trace,
         horizon: config.horizon,
         stats: sim.stats,
+        metrics: sim.metrics,
+    };
+    flush_global_metrics(&result);
+    result
+}
+
+/// Flushes one run's totals into the process-global metrics registry
+/// (`rtmdm_obs::metrics::global`). A no-op unless a telemetry consumer
+/// (e.g. the benchmark harness) enabled the registry. Everything
+/// recorded is a sum, so aggregate totals are independent of the order
+/// (and thread count) in which runs execute.
+fn flush_global_metrics(result: &SimResult) {
+    let g = rtmdm_obs::metrics::global();
+    if !g.is_enabled() {
+        return;
     }
+    let m = &result.metrics;
+    g.add("sim.runs", 1);
+    g.add("sim.cycles", result.horizon.get());
+    g.add("sim.trace_events", result.trace.len() as u64);
+    g.add("sim.cpu_busy_cycles", m.cpu_busy_cycles.get());
+    g.add("sim.cpu_idle_cycles", m.cpu_idle_cycles.get());
+    g.add("sim.dma_busy_cycles", m.dma_busy_cycles.get());
+    g.add("sim.cpu_stall_cycles", m.cpu_stall_cycles.get());
+    g.add("sim.dma_stall_cycles", m.dma_stall_cycles.get());
+    g.add("sim.preemptions", m.preemptions);
+    g.add("sim.prefetch_hits", m.prefetch_hits);
+    g.add("sim.blocking_fetches", m.blocking_fetches);
+    let mut releases = 0;
+    let mut completions = 0;
+    let mut misses = 0;
+    for s in &result.stats {
+        releases += s.releases;
+        completions += s.completions;
+        misses += s.misses;
+        g.merge_buckets("sim.response_cycles", s.response_hist.buckets());
+    }
+    g.add("sim.releases", releases);
+    g.add("sim.completions", completions);
+    g.add("sim.deadline_misses", misses);
 }
 
 /// Work retired in `delta` wall cycles at the contended rate
@@ -371,8 +447,17 @@ impl Sim<'_> {
             let dma_fin = self.dma_finish_estimate();
             let timed = self.timed.peek_time();
             let next = [cpu_fin, dma_fin, timed].into_iter().flatten().min();
-            let Some(next) = next else { break };
+            let Some(next) = next else {
+                // No events left (e.g. an empty task set): the CPU is
+                // necessarily idle from here to the horizon.
+                self.note_cpu_idle();
+                break;
+            };
             if next > self.config.horizon {
+                // Account the tail [now, horizon) — resources may still
+                // be busy — without processing the past-horizon event.
+                self.advance_to(self.config.horizon);
+                self.now = self.config.horizon;
                 break;
             }
             self.advance_to(next);
@@ -395,6 +480,24 @@ impl Sim<'_> {
             }
             self.dispatch_dma();
             self.dispatch_cpu();
+            self.note_cpu_idle();
+        }
+        // Exact partition of the horizon — the headline invariant every
+        // derived utilization figure rests on.
+        self.metrics.cpu_idle_cycles = self
+            .config
+            .horizon
+            .saturating_sub(self.metrics.cpu_busy_cycles);
+    }
+
+    /// Opens a [`TraceKind::CpuIdle`] interval if the CPU is idle and no
+    /// interval is open. The matching [`TraceKind::CpuIdleEnd`] is
+    /// emitted by `dispatch_cpu`; a trace can therefore end mid-idle,
+    /// and consumers clamp the open interval at the horizon.
+    fn note_cpu_idle(&mut self) {
+        if self.cpu.is_none() && !self.idle_open && self.now < self.config.horizon {
+            self.idle_open = true;
+            self.trace.push(self.now, TraceKind::CpuIdle);
         }
     }
 
@@ -443,7 +546,13 @@ impl Sim<'_> {
         let cpu_inflation = self.platform.contention.cpu_inflation_ppm;
         let dma_inflation = self.platform.contention.dma_inflation_ppm;
         if let Some(c) = self.cpu.as_mut() {
+            self.metrics.cpu_busy_cycles += delta;
             if cpu_fin == Some(next) {
+                // The interval retires exactly the remaining work; the
+                // surplus wall time is contention stall.
+                if both {
+                    self.metrics.cpu_stall_cycles += delta.saturating_sub(c.remaining);
+                }
                 c.remaining = Cycles::ZERO;
             } else {
                 let done = if both {
@@ -451,11 +560,18 @@ impl Sim<'_> {
                 } else {
                     delta
                 };
+                if both {
+                    self.metrics.cpu_stall_cycles += delta.saturating_sub(done);
+                }
                 c.remaining = c.remaining.saturating_sub(done);
             }
         }
         if let Some(d) = self.dma.as_mut() {
+            self.metrics.dma_busy_cycles += delta;
             if dma_fin == Some(next) {
+                if both {
+                    self.metrics.dma_stall_cycles += delta.saturating_sub(d.remaining);
+                }
                 d.remaining = Cycles::ZERO;
             } else {
                 let done = if both {
@@ -463,6 +579,9 @@ impl Sim<'_> {
                 } else {
                     delta
                 };
+                if both {
+                    self.metrics.dma_stall_cycles += delta.saturating_sub(done);
+                }
                 d.remaining = d.remaining.saturating_sub(done);
             }
         }
@@ -527,6 +646,29 @@ impl Sim<'_> {
         // Kick off the first fetch of the *head* job only; queued-behind
         // jobs start fetching when they reach the head.
         self.maybe_request_fetch(task_idx);
+        if self.tasks[task_idx].jobs.len() == 1 {
+            // The released job became the head; a queued-behind job is
+            // accounted when it surfaces (see `complete_cpu_segment`).
+            self.note_leadin_block(task_idx);
+        }
+    }
+
+    /// Counts the head job's lead-in fetch as a blocking fetch when its
+    /// first segment cannot compute until the DMA delivers it (nothing
+    /// overlaps a lead-in by construction). Called exactly when a job
+    /// surfaces at the head of its task's queue, so each lead-in is
+    /// counted at most once.
+    fn note_leadin_block(&mut self, task_idx: usize) {
+        if self.ts.tasks()[task_idx].mode != StagingMode::Overlapped {
+            return;
+        }
+        if self.tasks[task_idx]
+            .jobs
+            .front()
+            .is_some_and(|j| j.next_seg == 0 && j.staged == 0)
+        {
+            self.metrics.blocking_fetches += 1;
+        }
     }
 
     fn deadline_check(&mut self, task_idx: usize, job_id: u64) {
@@ -581,6 +723,15 @@ impl Sim<'_> {
                 .expect("running task has a head job");
             job.next_seg = c.seg + 1;
             let done = job.next_seg == job.seg_compute.len();
+            // Double-buffer effectiveness: was the next segment's fetch
+            // already hidden behind the compute that just retired?
+            if !done && self.ts.tasks()[task_idx].mode == StagingMode::Overlapped {
+                if job.staged > job.next_seg {
+                    self.metrics.prefetch_hits += 1;
+                } else {
+                    self.metrics.blocking_fetches += 1;
+                }
+            }
             (job.id, done, self.now.saturating_sub(job.release))
         };
         self.trace.push(
@@ -620,6 +771,9 @@ impl Sim<'_> {
         // The compute window advanced (or a new head job surfaced):
         // another prefetch may be admissible.
         self.maybe_request_fetch(task_idx);
+        if job_done {
+            self.note_leadin_block(task_idx);
+        }
     }
 
     // --- staging -----------------------------------------------------------
@@ -791,11 +945,18 @@ impl Sim<'_> {
         };
         let Some(task_idx) = chosen else { return };
 
+        // The CPU leaves idle: close the open idle interval.
+        if self.idle_open {
+            self.idle_open = false;
+            self.trace.push(self.now, TraceKind::CpuIdleEnd);
+        }
+
         // Preemption bookkeeping: if a different task was mid-job at the
         // last boundary, it has just been preempted.
         if let Some(prev) = self.last_cpu_task {
             if prev != task_idx && self.task_has_started_job(prev) {
                 self.stats[prev].preemptions += 1;
+                self.metrics.preemptions += 1;
                 self.trace.push(
                     self.now,
                     TraceKind::Preempted {
@@ -1230,6 +1391,119 @@ mod tests {
             wc.stats[0].max_response,
             gated.stats[0].max_response
         );
+    }
+
+    #[test]
+    fn metrics_partition_horizon_exactly() {
+        // (100,50),(100,50) per job of period 1000 over a 10 000-cycle
+        // horizon: fetch0 50, compute 200, fetch1 hidden → per job the
+        // CPU is busy 200 and the DMA 100.
+        let ts = TaskSet::from_tasks(vec![overlapped("a", 1000, &[(100, 50), (100, 50)])]);
+        let r = run(&ts, 10_000);
+        let m = r.metrics;
+        assert_eq!(m.cpu_busy_cycles + m.cpu_idle_cycles, r.horizon);
+        assert_eq!(m.cpu_busy_cycles, cy(2000));
+        assert_eq!(m.cpu_idle_cycles, cy(8000));
+        assert_eq!(m.dma_busy_cycles, cy(1000));
+        // No contention on the bare platform.
+        assert_eq!(m.cpu_stall_cycles, Cycles::ZERO);
+        assert_eq!(m.dma_stall_cycles, Cycles::ZERO);
+        // Per job: one hidden prefetch (segment 1), one lead-in block.
+        assert_eq!(m.prefetch_hits, 10);
+        assert_eq!(m.blocking_fetches, 10);
+    }
+
+    #[test]
+    fn idle_trace_events_agree_with_idle_metric() {
+        // The CpuIdle/CpuIdleEnd pairs in the trace (with the open tail
+        // clamped at the horizon) must sum to exactly the idle counter
+        // the hot loop accounted — two independent derivations.
+        for (ts, horizon) in [
+            (
+                TaskSet::from_tasks(vec![overlapped("a", 1000, &[(100, 50), (100, 300)])]),
+                10_000,
+            ),
+            (
+                TaskSet::from_tasks(vec![
+                    overlapped("a", 500, &[(40, 64), (60, 32)]),
+                    resident("b", 700, &[100, 80]),
+                ]),
+                50_000,
+            ),
+            (TaskSet::from_tasks(vec![]), 777),
+        ] {
+            let r = run(&ts, horizon);
+            assert_eq!(
+                r.trace.cpu_idle_cycles(r.horizon),
+                r.metrics.cpu_idle_cycles,
+                "horizon {horizon}"
+            );
+        }
+    }
+
+    #[test]
+    fn unhidden_fetch_counts_as_blocking() {
+        // Fetch of segment 1 (300) outlasts compute of segment 0 (100):
+        // every inter-segment transition blocks, plus the lead-in.
+        let ts = TaskSet::from_tasks(vec![overlapped("a", 1000, &[(100, 50), (100, 300)])]);
+        let r = run(&ts, 10_000);
+        assert_eq!(r.metrics.prefetch_hits, 0);
+        assert_eq!(r.metrics.blocking_fetches, 2 * r.stats[0].completions);
+    }
+
+    #[test]
+    fn contention_stall_is_accounted() {
+        let mut p = bare_platform();
+        p.contention = ContentionModel {
+            cpu_inflation_ppm: 500_000,
+            dma_inflation_ppm: 0,
+        };
+        let ts = TaskSet::from_tasks(vec![overlapped("a", 10_000, &[(100, 100), (100, 100)])]);
+        let r = simulate(&ts, &p, &SimConfig::new(cy(10_000), Policy::FixedPriority));
+        let m = r.metrics;
+        // Compute0 overlaps fetch1 for 100 wall cycles at 1.5×: the CPU
+        // retires 66 work cycles and stalls for the other 34 (exact,
+        // sub-cycle credit included).
+        assert_eq!(m.cpu_stall_cycles, cy(34));
+        assert_eq!(m.dma_stall_cycles, Cycles::ZERO);
+        assert_eq!(m.cpu_busy_cycles + m.cpu_idle_cycles, r.horizon);
+        // Busy wall time = 234 (contended compute0 + compute1).
+        assert_eq!(m.cpu_busy_cycles, cy(234));
+    }
+
+    #[test]
+    fn metrics_and_preemptions_match_stats() {
+        let ts = TaskSet::from_tasks(vec![
+            resident("hi", 100, &[20]),
+            resident("lo", 1000, &[50, 50, 50, 50]),
+        ]);
+        let r = run(&ts, 1000);
+        let stat_preempts: u64 = r.stats.iter().map(|s| s.preemptions).sum();
+        assert_eq!(r.metrics.preemptions, stat_preempts);
+        assert!(r.metrics.preemptions >= 1);
+    }
+
+    #[test]
+    fn global_registry_collects_run_totals_when_enabled() {
+        let g = rtmdm_obs::metrics::global();
+        let before = g.snapshot();
+        g.enable(true);
+        let ts = TaskSet::from_tasks(vec![overlapped("a", 1000, &[(100, 50), (100, 50)])]);
+        let r = run(&ts, 10_000);
+        g.enable(false);
+        let after = g.snapshot();
+        // Other tests may flush concurrently while the gate is open, so
+        // assert lower bounds, not exact values.
+        assert!(after.counter_delta(&before, "sim.runs") >= 1);
+        assert!(after.counter_delta(&before, "sim.cycles") >= 10_000);
+        assert!(
+            after.counter_delta(&before, "sim.completions") >= r.stats[0].completions,
+            "completions flushed"
+        );
+        // Disabled again: another run adds nothing.
+        let mid = g.snapshot();
+        let _ = run(&ts, 10_000);
+        assert_eq!(g.snapshot().counter("sim.runs"), mid.counter("sim.runs"));
     }
 
     #[test]

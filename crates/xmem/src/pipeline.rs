@@ -6,6 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 use rtmdm_mcusim::{Cycles, PlatformConfig};
+use rtmdm_obs::Registry;
 
 use crate::plan::ModelSegmentation;
 
@@ -47,6 +48,11 @@ pub struct StageTiming {
     pub fetch_work: Cycles,
     /// Wall-clock duration of the stage including contention.
     pub stage: Cycles,
+    /// Whether the stage's DMA work finishes at or before its compute
+    /// (true also when there is nothing to fetch): a hidden fetch adds
+    /// no wall time beyond contention; an exposed one stalls the
+    /// pipeline until the transfer lands.
+    pub fetch_hidden: bool,
 }
 
 /// Per-stage timings of a single job in isolation.
@@ -72,15 +78,13 @@ pub fn stage_timings(
                 } else {
                     Cycles::ZERO
                 };
-                let stage = platform
-                    .contention
-                    .overlap(compute_work, fetch_work)
-                    .stage_finish();
+                let overlap = platform.contention.overlap(compute_work, fetch_work);
                 out.push(StageTiming {
                     segment: k,
                     compute_work,
                     fetch_work,
-                    stage,
+                    stage: overlap.stage_finish(),
+                    fetch_hidden: overlap.dma_finish <= overlap.cpu_finish,
                 });
             }
             ExecutionStrategy::FetchThenCompute => {
@@ -90,6 +94,7 @@ pub fn stage_timings(
                     compute_work,
                     fetch_work,
                     stage: fetch_work + compute_work,
+                    fetch_hidden: fetch_work.is_zero(),
                 });
             }
             ExecutionStrategy::AllInSram => out.push(StageTiming {
@@ -97,6 +102,7 @@ pub fn stage_timings(
                 compute_work,
                 fetch_work: Cycles::ZERO,
                 stage: compute_work,
+                fetch_hidden: true,
             }),
         }
     }
@@ -139,6 +145,34 @@ pub fn isolated_latency(
         _ => Cycles::ZERO,
     };
     lead_in + body
+}
+
+/// Record pipeline stage telemetry into a metrics [`Registry`].
+///
+/// Counters: `pipeline.stages`, `pipeline.compute_cycles`,
+/// `pipeline.fetch_cycles`, `pipeline.stage_cycles`, and — for stages
+/// that actually transfer data — `pipeline.hidden_fetches` vs.
+/// `pipeline.exposed_fetches`. Stage wall times also feed the
+/// `pipeline.stage_cycles_hist` histogram. A disabled registry makes
+/// this a no-op.
+pub fn record_stage_metrics(stages: &[StageTiming], registry: &mut Registry) {
+    if !registry.is_enabled() {
+        return;
+    }
+    for st in stages {
+        registry.add("pipeline.stages", 1);
+        registry.add("pipeline.compute_cycles", st.compute_work.get());
+        registry.add("pipeline.fetch_cycles", st.fetch_work.get());
+        registry.add("pipeline.stage_cycles", st.stage.get());
+        if !st.fetch_work.is_zero() {
+            if st.fetch_hidden {
+                registry.add("pipeline.hidden_fetches", 1);
+            } else {
+                registry.add("pipeline.exposed_fetches", 1);
+            }
+        }
+        registry.observe("pipeline.stage_cycles_hist", st.stage.get());
+    }
 }
 
 /// The fraction of staging time hidden by overlap, in percent:
@@ -273,6 +307,65 @@ mod tests {
         let fine = seg(40 * 1024);
         assert!(fine.len() > coarse.len());
         assert!(fine.max_segment_compute() <= coarse.max_segment_compute());
+    }
+
+    #[test]
+    fn fetch_hidden_flags_match_strategy_semantics() {
+        let s = seg(40 * 1024);
+        let p = PlatformConfig::stm32f746_qspi();
+        // All-in-SRAM never fetches, so every stage is trivially hidden.
+        for st in stage_timings(&s, &p, ExecutionStrategy::AllInSram) {
+            assert!(st.fetch_hidden);
+            assert!(st.fetch_work.is_zero());
+        }
+        // Fetch-then-compute exposes every nonzero fetch by construction.
+        for st in stage_timings(&s, &p, ExecutionStrategy::FetchThenCompute) {
+            assert_eq!(st.fetch_hidden, st.fetch_work.is_zero());
+        }
+        // Overlapped: the flag agrees with the contention model's finish
+        // times, and the last stage (no next fetch) is always hidden.
+        let stages = stage_timings(&s, &p, ExecutionStrategy::OverlappedPrefetch);
+        for st in &stages {
+            let out = p.contention.overlap(st.compute_work, st.fetch_work);
+            assert_eq!(st.fetch_hidden, out.dma_finish <= out.cpu_finish);
+        }
+        assert!(stages.last().unwrap().fetch_hidden);
+        // Ideal memory hides everything (fetches are free).
+        let ideal = PlatformConfig::ideal_sram();
+        for st in stage_timings(&s, &ideal, ExecutionStrategy::OverlappedPrefetch) {
+            assert!(st.fetch_hidden);
+        }
+    }
+
+    #[test]
+    fn record_stage_metrics_accumulates_counters() {
+        let s = seg(40 * 1024);
+        let p = PlatformConfig::stm32f746_qspi();
+        let stages = stage_timings(&s, &p, ExecutionStrategy::OverlappedPrefetch);
+        let mut reg = Registry::new();
+        record_stage_metrics(&stages, &mut reg);
+        assert_eq!(reg.counter("pipeline.stages"), stages.len() as u64);
+        let compute: u64 = stages.iter().map(|st| st.compute_work.get()).sum();
+        let fetch: u64 = stages.iter().map(|st| st.fetch_work.get()).sum();
+        let wall: u64 = stages.iter().map(|st| st.stage.get()).sum();
+        assert_eq!(reg.counter("pipeline.compute_cycles"), compute);
+        assert_eq!(reg.counter("pipeline.fetch_cycles"), fetch);
+        assert_eq!(reg.counter("pipeline.stage_cycles"), wall);
+        let fetching = stages.iter().filter(|st| !st.fetch_work.is_zero()).count() as u64;
+        assert_eq!(
+            reg.counter("pipeline.hidden_fetches") + reg.counter("pipeline.exposed_fetches"),
+            fetching
+        );
+    }
+
+    #[test]
+    fn record_stage_metrics_is_noop_when_disabled() {
+        let s = seg(40 * 1024);
+        let p = PlatformConfig::stm32f746_qspi();
+        let stages = stage_timings(&s, &p, ExecutionStrategy::OverlappedPrefetch);
+        let mut reg = Registry::disabled();
+        record_stage_metrics(&stages, &mut reg);
+        assert_eq!(reg.counter("pipeline.stages"), 0);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! should depend on the member crates directly:
 //!
 //! - [`mcusim`] — discrete-event MCU platform simulator (CPU, DMA, bus).
+//! - [`obs`] — observability: metrics registry, timeline analytics over
+//!   execution traces, ASCII Gantt rendering, Chrome/JSONL exporters.
 //! - [`dnn`] — int8 quantized DNN engine, model zoo, cost model.
 //! - [`xmem`] — external-memory staging: segmentation, double buffering,
 //!   prefetch pipeline timing.
@@ -39,5 +41,6 @@
 pub use rtmdm_core as core;
 pub use rtmdm_dnn as dnn;
 pub use rtmdm_mcusim as mcusim;
+pub use rtmdm_obs as obs;
 pub use rtmdm_sched as sched;
 pub use rtmdm_xmem as xmem;

@@ -15,8 +15,8 @@ cargo clippy --all-targets --workspace -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo doc (obs) =="
-RUSTDOCFLAGS="-D warnings" cargo doc -q -p rtmdm-obs --no-deps
+echo "== cargo doc (obs + check) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q -p rtmdm-obs -p rtmdm-check --no-deps
 
 echo "== rtmdm trace smoke =="
 trace_out="$(mktemp)"
@@ -26,5 +26,28 @@ trace_out="$(mktemp)"
 # binary below does exactly that against the golden scenario too).
 cargo test -q --test observability chrome_export_round_trips_through_serde_json
 rm -f "$trace_out"
+
+echo "== rtmdm check sweep =="
+# Every zoo model on every platform preset must verify to parseable
+# JSON and a 0/2 exit; the JSON is re-parsed by the CLI itself (it
+# round-trips the report through the bundled serde_json before
+# printing). A deliberately broken spec must exit 2.
+for platform in cortex-m4-lowend stm32f746-qspi stm32h743-ospi ideal-sram; do
+  for model in micro-mlp ds-cnn lenet5 resnet8 mobilenet-v1-025 autoencoder; do
+    set +e
+    ./target/release/rtmdm check --platform "$platform" \
+      --task "t=${model}@1000" --json --deny-warnings > /dev/null
+    code=$?
+    set -e
+    if [[ $code -ne 0 && $code -ne 2 ]]; then
+      echo "check sweep: $platform/$model exited $code" >&2
+      exit 1
+    fi
+  done
+done
+if ./target/release/rtmdm check --task bad=ds-cnn@100/200 > /dev/null; then
+  echo "check smoke: broken spec unexpectedly verified clean" >&2
+  exit 1
+fi
 
 echo "CI green."

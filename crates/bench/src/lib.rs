@@ -16,6 +16,9 @@
 //! (`RTMDM_THREADS=1` forces the plain serial path). Emitted tables are
 //! byte-identical for any thread count.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod experiments;
 pub mod par;
 pub mod telemetry;

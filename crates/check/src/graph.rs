@@ -1,0 +1,273 @@
+//! DNN graph lints (`RTM030`–`RTM033`).
+//!
+//! Models built through [`rtmdm_dnn::ModelBuilder`] are
+//! shape-consistent by construction, but models can also arrive through
+//! `Model::from_json`, which faithfully restores whatever the document
+//! says. This pass re-derives every node's operand and output shapes
+//! from scratch and cross-checks them against the declared graph
+//! (`RTM030`), finds dead layers (`RTM031`), validates quantization
+//! parameters (`RTM032`), and flags layers that stage weights without
+//! contributing MACs (`RTM033`).
+
+use rtmdm_dnn::{Model, NodeInput, Shape};
+
+use crate::diag::{Finding, Rule};
+
+/// The graph pass: shape, reachability, and quantization lints of one
+/// model.
+pub fn check_model(model: &Model) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let anchored = |f: Finding| f.with_model(model.name().to_owned());
+    let nodes = model.nodes();
+    let mut consumed = vec![false; nodes.len()];
+
+    for (i, node) in nodes.iter().enumerate() {
+        if node.id.0 != i {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm030,
+                    format!("node at position {i} declares id {}", node.id.0),
+                )
+                .with_layer(i),
+            ));
+        }
+
+        // Re-derive operand shapes from the declared edges.
+        let mut operands: Vec<Shape> = Vec::with_capacity(node.inputs.len());
+        let mut edges_ok = true;
+        for input in &node.inputs {
+            match *input {
+                NodeInput::ModelInput => operands.push(model.input_shape()),
+                NodeInput::Node(id) if id.0 < i => {
+                    consumed[id.0] = true;
+                    operands.push(nodes[id.0].out_shape);
+                }
+                NodeInput::Node(id) => {
+                    out.push(anchored(
+                        Finding::new(
+                            Rule::Rtm030,
+                            format!(
+                                "layer `{}` consumes node {} which is not an earlier node",
+                                node.layer.name, id.0
+                            ),
+                        )
+                        .with_layer(i),
+                    ));
+                    edges_ok = false;
+                }
+            }
+        }
+        if edges_ok && operands.is_empty() {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm030,
+                    format!("layer `{}` has no inputs", node.layer.name),
+                )
+                .with_layer(i),
+            ));
+            edges_ok = false;
+        }
+        if edges_ok && operands.windows(2).any(|w| w[0] != w[1]) {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm030,
+                    format!(
+                        "layer `{}` mixes operand shapes {:?}",
+                        node.layer.name, operands
+                    ),
+                )
+                .with_layer(i),
+            ));
+            edges_ok = false;
+        }
+        if edges_ok {
+            let input = operands[0];
+            match node.layer.kind.out_shape(input) {
+                None => out.push(anchored(
+                    Finding::new(
+                        Rule::Rtm030,
+                        format!(
+                            "layer `{}` cannot consume its operand shape \
+                             {}x{}x{}",
+                            node.layer.name, input.h, input.w, input.c
+                        ),
+                    )
+                    .with_layer(i),
+                )),
+                Some(s) if s != node.out_shape => out.push(anchored(
+                    Finding::new(
+                        Rule::Rtm030,
+                        format!(
+                            "layer `{}` declares output {}x{}x{} but computes {}x{}x{}",
+                            node.layer.name,
+                            node.out_shape.h,
+                            node.out_shape.w,
+                            node.out_shape.c,
+                            s.h,
+                            s.w,
+                            s.c
+                        ),
+                    )
+                    .with_layer(i),
+                )),
+                Some(_) => {
+                    // Shapes check out; the MAC lint is only meaningful
+                    // on a consistent edge.
+                    if node.layer.kind.macs(input) == 0 && node.layer.weight_bytes() > 0 {
+                        out.push(anchored(
+                            Finding::new(
+                                Rule::Rtm033,
+                                format!(
+                                    "layer `{}` contributes no MACs yet stages {} B of parameters",
+                                    node.layer.name,
+                                    node.layer.weight_bytes()
+                                ),
+                            )
+                            .with_layer(i),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Quantization ranges: scales must be positive finite, zero
+        // points must fit int8.
+        if node.layer.kind.has_weights()
+            && !(node.layer.weight_scale.is_finite() && node.layer.weight_scale > 0.0)
+        {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm032,
+                    format!(
+                        "layer `{}` has weight scale {}",
+                        node.layer.name, node.layer.weight_scale
+                    ),
+                )
+                .with_layer(i),
+            ));
+        }
+        let q = node.layer.out_quant;
+        if !(q.scale.is_finite() && q.scale > 0.0 && (-128..=127).contains(&q.zero_point)) {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm032,
+                    format!(
+                        "layer `{}` has output quantization scale {} / zero point {}",
+                        node.layer.name, q.scale, q.zero_point
+                    ),
+                )
+                .with_layer(i),
+            ));
+        }
+    }
+
+    for (i, node) in nodes.iter().enumerate() {
+        if i + 1 != nodes.len() && !consumed[i] {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm031,
+                    format!(
+                        "layer `{}` is computed but its output is never consumed",
+                        node.layer.name
+                    ),
+                )
+                .with_layer(i),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_dnn::{zoo, ModelBuilder};
+
+    /// Replaces the value of `"key":<scalar>` in a serialized model.
+    fn patch_scalar(json: &str, key: &str, new: &str) -> String {
+        let needle = format!("\"{key}\":");
+        let at = json.find(&needle).expect("key present") + needle.len();
+        let end = json[at..]
+            .find([',', '}'])
+            .map(|e| at + e)
+            .expect("scalar terminates");
+        format!("{}{}{}", &json[..at], new, &json[end..])
+    }
+
+    fn two_dense() -> Model {
+        ModelBuilder::new("tiny", Shape::new(4, 4, 1))
+            .dense(4, true)
+            .dense(2, false)
+            .build()
+    }
+
+    #[test]
+    fn zoo_models_lint_clean() {
+        for model in zoo::all() {
+            let findings = check_model(&model);
+            assert!(findings.is_empty(), "{}: {findings:?}", model.name());
+        }
+    }
+
+    #[test]
+    fn rtm030_fires_once_on_a_shape_mismatch() {
+        // Widen the model input: the first dense layer now sees 32
+        // features but expects 16.
+        let json = two_dense().to_json().expect("encode");
+        let doctored = patch_scalar(&json, "c", "2");
+        let model = Model::from_json(&doctored).expect("decode");
+        let hits: Vec<_> = check_model(&model)
+            .into_iter()
+            .filter(|f| f.rule == Rule::Rtm030)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].layer, Some(0));
+    }
+
+    #[test]
+    fn rtm031_fires_once_on_a_dead_layer() {
+        // Append a copy of the output layer that reads node 0; the
+        // original node 1 is then computed but never consumed.
+        let json = two_dense().to_json().expect("encode");
+        let at = json.rfind("{\"id\":1").expect("last node");
+        let node = &json[at..json.len() - 2];
+        let dup = node.replacen("\"id\":1", "\"id\":2", 1);
+        let doctored = format!("{},{}]{}", &json[..json.len() - 2], dup, "}");
+        let model = Model::from_json(&doctored).expect("decode");
+        let hits: Vec<_> = check_model(&model)
+            .into_iter()
+            .filter(|f| f.rule == Rule::Rtm031)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].layer, Some(1));
+    }
+
+    #[test]
+    fn rtm032_fires_once_on_a_non_positive_weight_scale() {
+        let json = two_dense().to_json().expect("encode");
+        let doctored = patch_scalar(&json, "weight_scale", "-1.0");
+        let model = Model::from_json(&doctored).expect("decode");
+        let hits: Vec<_> = check_model(&model)
+            .into_iter()
+            .filter(|f| f.rule == Rule::Rtm032)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].layer, Some(0));
+    }
+
+    #[test]
+    fn rtm033_fires_once_on_a_bias_only_zero_mac_layer() {
+        // Dense with zero input features: weight matrix is empty but the
+        // biases still stage, with zero MACs contributed.
+        let model = ModelBuilder::new("degenerate", Shape::new(1, 1, 0))
+            .dense(5, false)
+            .build();
+        let hits: Vec<_> = check_model(&model)
+            .into_iter()
+            .filter(|f| f.rule == Rule::Rtm033)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("no MACs"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Plan well-formedness (`RTM010`–`RTM013`).
+//!
+//! A [`ModelSegmentation`] is well-formed when its segments are densely
+//! indexed in execution order (`RTM010`), their layer ranges tile the
+//! model contiguously — with tiled continuation slices allowed to
+//! repeat their base segment's range at zero fetch — (`RTM011`), the
+//! plan is realizable against its staging buffer (`RTM012`), and its
+//! compute/fetch totals agree with the [`CostModel`] that priced it
+//! (`RTM013`).
+
+use std::collections::BTreeMap;
+
+use rtmdm_dnn::{CostModel, Model};
+use rtmdm_xmem::ModelSegmentation;
+
+use crate::diag::{Finding, Rule};
+
+/// The plan pass: structural and cost-consistency checks of one
+/// segmentation plan against its model and cost model.
+pub fn check_plan(plan: &ModelSegmentation, model: &Model, cost_model: &CostModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let anchored = |f: Finding| f.with_model(plan.model.clone());
+
+    if plan.segments.is_empty() {
+        out.push(anchored(Finding::new(
+            Rule::Rtm010,
+            "plan has no segments".to_owned(),
+        )));
+        return out;
+    }
+
+    for (i, s) in plan.segments.iter().enumerate() {
+        if s.index != i {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm010,
+                    format!("segment at position {i} carries index {}", s.index),
+                )
+                .with_segment(i),
+            ));
+        }
+    }
+
+    // Layer coverage: in-bounds, ordered ranges that tile the model.
+    let mut ranges_ok = true;
+    for (i, s) in plan.segments.iter().enumerate() {
+        if s.first_layer > s.last_layer || s.last_layer >= model.len() {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm011,
+                    format!(
+                        "segment covers layers {}..={} but the model has {} layers",
+                        s.first_layer,
+                        s.last_layer,
+                        model.len()
+                    ),
+                )
+                .with_segment(i),
+            ));
+            ranges_ok = false;
+        }
+    }
+    if ranges_ok {
+        let first = &plan.segments[0];
+        if first.first_layer != 0 {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm011,
+                    format!("coverage starts at layer {}, not 0", first.first_layer),
+                )
+                .with_segment(0),
+            ));
+        }
+        for i in 1..plan.segments.len() {
+            let (prev, s) = (&plan.segments[i - 1], &plan.segments[i]);
+            let continuation = s.first_layer == prev.first_layer && s.last_layer == prev.last_layer;
+            if continuation {
+                if s.fetch_bytes != 0 {
+                    out.push(anchored(
+                        Finding::new(
+                            Rule::Rtm011,
+                            format!(
+                                "tiled continuation of layers {}..={} re-fetches {} B",
+                                s.first_layer, s.last_layer, s.fetch_bytes
+                            ),
+                        )
+                        .with_segment(i),
+                    ));
+                }
+            } else if s.first_layer != prev.last_layer + 1 {
+                out.push(anchored(
+                    Finding::new(
+                        Rule::Rtm011,
+                        format!(
+                            "layers {}..={} do not follow the previous segment's {}..={}",
+                            s.first_layer, s.last_layer, prev.first_layer, prev.last_layer
+                        ),
+                    )
+                    .with_segment(i),
+                ));
+            }
+        }
+        let last = plan.segments.last().expect("non-empty");
+        if last.last_layer + 1 != model.len() {
+            out.push(anchored(
+                Finding::new(
+                    Rule::Rtm011,
+                    format!(
+                        "coverage ends at layer {} but the model has {} layers",
+                        last.last_layer,
+                        model.len()
+                    ),
+                )
+                .with_segment(plan.segments.len() - 1),
+            ));
+        }
+    }
+
+    // Realizability against the staging buffer.
+    let cost = cost_model.model_cost(model);
+    if plan.buffer_bytes == 0 && plan.total_fetch_bytes() > 0 {
+        out.push(anchored(Finding::new(
+            Rule::Rtm012,
+            format!(
+                "plan stages {} B through a zero-byte buffer",
+                plan.total_fetch_bytes()
+            ),
+        )));
+    } else if plan.buffer_bytes > 0 {
+        for (li, layer) in cost.layers.iter().enumerate() {
+            if layer.weight_bytes > plan.buffer_bytes {
+                out.push(anchored(
+                    Finding::new(
+                        Rule::Rtm012,
+                        format!(
+                            "layer `{}` needs {} B of parameters but the buffer holds {} B",
+                            layer.name, layer.weight_bytes, plan.buffer_bytes
+                        ),
+                    )
+                    .with_layer(li),
+                ));
+            }
+        }
+    }
+
+    // Cost-model consistency. Tiled continuation slices split a range's
+    // compute across segments, so compare per covered range: the sum of
+    // all slices over `first..=last` must equal the cost model's total
+    // for those layers.
+    if ranges_ok {
+        let mut per_range: BTreeMap<(usize, usize), (u64, usize)> = BTreeMap::new();
+        for (i, s) in plan.segments.iter().enumerate() {
+            let entry = per_range
+                .entry((s.first_layer, s.last_layer))
+                .or_insert((0, i));
+            entry.0 += s.compute_cycles.get();
+        }
+        for (&(first, last), &(total, seg)) in &per_range {
+            let expected: u64 = cost.layers[first..=last]
+                .iter()
+                .map(|l| l.compute.get())
+                .sum();
+            if total != expected {
+                out.push(anchored(
+                    Finding::new(
+                        Rule::Rtm013,
+                        format!(
+                            "layers {first}..={last} are planned at {total} cycles but the cost \
+                             model prices them at {expected}"
+                        ),
+                    )
+                    .with_segment(seg),
+                ));
+            }
+        }
+        if plan.total_fetch_bytes() < model.total_weight_bytes() {
+            out.push(anchored(Finding::new(
+                Rule::Rtm013,
+                format!(
+                    "plan stages {} B but the model carries {} B of parameters",
+                    plan.total_fetch_bytes(),
+                    model.total_weight_bytes()
+                ),
+            )));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_dnn::zoo;
+    use rtmdm_xmem::segment_model;
+
+    fn fixture() -> (ModelSegmentation, Model, CostModel) {
+        let model = zoo::ds_cnn();
+        let cost = CostModel::cmsis_nn_m7();
+        let plan = segment_model(&model, &cost, 8 * 1024).expect("plan");
+        assert!(plan.segments.len() >= 2, "fixture must be multi-segment");
+        (plan, model, cost)
+    }
+
+    #[test]
+    fn real_plans_are_well_formed() {
+        let (plan, model, cost) = fixture();
+        assert!(check_plan(&plan, &model, &cost).is_empty());
+    }
+
+    #[test]
+    fn tiled_plans_are_well_formed() {
+        let model = zoo::resnet8();
+        let cost = CostModel::cmsis_nn_m7();
+        let plan = rtmdm_xmem::segment_model_tiled(
+            &model,
+            &cost,
+            64 * 1024,
+            rtmdm_mcusim::Cycles::new(500_000),
+        )
+        .expect("tiled");
+        assert!(check_plan(&plan, &model, &cost).is_empty());
+    }
+
+    #[test]
+    fn rtm010_fires_once_on_a_shuffled_index() {
+        let (mut plan, model, cost) = fixture();
+        plan.segments[1].index = 5;
+        let hits: Vec<_> = check_plan(&plan, &model, &cost)
+            .into_iter()
+            .filter(|f| f.rule == Rule::Rtm010)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].segment, Some(1));
+    }
+
+    #[test]
+    fn rtm011_fires_once_on_a_coverage_gap() {
+        let (mut plan, model, cost) = fixture();
+        // Open a one-layer gap between segments 0 and 1.
+        plan.segments[1].first_layer += 1;
+        let hits: Vec<_> = check_plan(&plan, &model, &cost)
+            .into_iter()
+            .filter(|f| f.rule == Rule::Rtm011)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("do not follow"));
+    }
+
+    #[test]
+    fn rtm012_fires_once_on_a_zero_buffer() {
+        let (mut plan, model, cost) = fixture();
+        plan.buffer_bytes = 0;
+        let hits: Vec<_> = check_plan(&plan, &model, &cost)
+            .into_iter()
+            .filter(|f| f.rule == Rule::Rtm012)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+    }
+
+    #[test]
+    fn rtm013_fires_once_on_a_doctored_compute() {
+        let (mut plan, model, cost) = fixture();
+        plan.segments[0].compute_cycles = rtmdm_mcusim::Cycles::new(1);
+        let hits: Vec<_> = check_plan(&plan, &model, &cost)
+            .into_iter()
+            .filter(|f| f.rule == Rule::Rtm013)
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("cost"));
+    }
+}

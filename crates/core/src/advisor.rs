@@ -40,18 +40,21 @@ impl RtMdm {
     ///
     /// # Errors
     ///
-    /// [`AdmitError::NoTasks`] on an empty framework; propagates
-    /// platform errors. Returns `Ok(None)` when no assignment is
-    /// admissible.
+    /// [`AdmitError::NoTasks`] on an empty framework,
+    /// [`AdmitError::TooManyTasks`] past the exhaustive-search cap;
+    /// propagates platform errors. Returns `Ok(None)` when no
+    /// assignment is admissible.
     pub fn optimize(&self) -> Result<Option<OptimizeOutcome>, AdmitError> {
         let n = self.specs().len();
         if n == 0 {
             return Err(AdmitError::NoTasks);
         }
-        assert!(
-            n <= MAX_TASKS,
-            "strategy search is exhaustive; {n} tasks exceed the {MAX_TASKS}-task cap"
-        );
+        if n > MAX_TASKS {
+            return Err(AdmitError::TooManyTasks {
+                count: n,
+                max: MAX_TASKS,
+            });
+        }
         let mode = if self.options().work_conserving {
             SchedulerMode::WorkConserving
         } else {
@@ -157,6 +160,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn oversized_frameworks_error_instead_of_panicking() {
+        let mut f = RtMdm::new(PlatformConfig::stm32f746_qspi()).expect("platform");
+        for i in 0..13 {
+            f.add_task(TaskSpec::new(
+                format!("t{i}"),
+                zoo::micro_mlp(),
+                1_000_000,
+                1_000_000,
+            ))
+            .expect("add");
+        }
+        let err = f.optimize().unwrap_err();
+        assert!(matches!(
+            err,
+            AdmitError::TooManyTasks { count: 13, max: 12 }
+        ));
     }
 
     #[test]

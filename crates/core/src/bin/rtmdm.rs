@@ -7,6 +7,7 @@
 //! rtmdm simulate --platform stm32f746-qspi --task kws=ds-cnn@100 --seconds 2
 //! rtmdm optimize --platform stm32f746-qspi --task kws=ds-cnn@100 --task ic=resnet8@400
 //! rtmdm trace    --platform stm32f746-qspi --task kws=ds-cnn@100 --out t.json --format chrome
+//! rtmdm check    --platform stm32f746-qspi --task kws=ds-cnn@100 --json --deny-warnings
 //! ```
 //!
 //! Task syntax: `name=model@period_ms[/deadline_ms][:strategy]` with
@@ -14,8 +15,13 @@
 //! `all-in-sram`. The `trace` subcommand simulates like `simulate`,
 //! then exports the event trace as Chrome trace-event JSON (load it in
 //! Perfetto / `chrome://tracing`) or JSONL, and with `--gantt` renders
-//! an ASCII Gantt chart. Exit status: 0 on success (and schedulable
-//! for `admit`), 2 when admission rejects, 1 on usage errors.
+//! an ASCII Gantt chart. The `check` subcommand runs the static
+//! verifier without admitting: `--json` emits the machine-readable
+//! report, `--deny-warnings` escalates warnings to errors, and
+//! `--allow RTM0xx` / `--deny RTM0xx` tune individual rules. Exit
+//! status: 0 on success (schedulable for `admit`, no errors for
+//! `check`), 2 when admission or verification rejects, 1 on usage
+//! errors.
 
 use std::process::ExitCode;
 
@@ -27,10 +33,11 @@ use rtmdm_sched::sim::Policy;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rtmdm <platforms|models|admit|simulate|optimize|trace> \
+        "usage: rtmdm <platforms|models|admit|simulate|optimize|trace|check> \
          [--platform NAME] [--task name=model@period_ms[/deadline_ms][:strategy]]… \
          [--seconds S] [--jitter PCT] [--seed N] [--edf] [--work-conserving] \
-         [--out PATH] [--format chrome|jsonl] [--gantt]"
+         [--out PATH] [--format chrome|jsonl] [--gantt] \
+         [--json] [--deny-warnings] [--allow RULE] [--deny RULE]"
     );
     ExitCode::from(1)
 }
@@ -59,6 +66,10 @@ struct Cli {
     out: Option<String>,
     format: TraceFormat,
     gantt: bool,
+    json: bool,
+    deny_warnings: bool,
+    allow: Vec<String>,
+    deny: Vec<String>,
 }
 
 fn parse_strategy(s: &str) -> Option<Strategy> {
@@ -104,6 +115,10 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
     let mut out = None;
     let mut format = TraceFormat::Chrome;
     let mut gantt = false;
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut allow = Vec::new();
+    let mut deny = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -152,6 +167,10 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
                 };
             }
             "--gantt" => gantt = true,
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--allow" => allow.push(it.next().ok_or(CliError::Usage)?.clone()),
+            "--deny" => deny.push(it.next().ok_or(CliError::Usage)?.clone()),
             _ => return Err(CliError::Usage),
         }
     }
@@ -165,6 +184,10 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
         out,
         format,
         gantt,
+        json,
+        deny_warnings,
+        allow,
+        deny,
     })
 }
 
@@ -268,6 +291,58 @@ fn cmd_trace(cli: &Cli, run: &rtmdm_core::RunReport) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run the static verifier over the spec without admitting it.
+///
+/// Unlike the other subcommands, `check` does not go through
+/// `RtMdm::add_task` — eager validation there would reject exactly the
+/// broken specs the verifier exists to explain. JSON output is
+/// re-parsed with the bundled `serde_json` before printing, mirroring
+/// the `trace` export validation.
+fn cmd_check(cli: &Cli) -> ExitCode {
+    let mut filter = rtmdm_check::RuleFilter::new();
+    for id in &cli.allow {
+        match rtmdm_check::Rule::from_id(id) {
+            Some(rule) => filter = filter.allow(rule),
+            None => {
+                eprintln!("rtmdm: unknown rule `{id}` in --allow");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    for id in &cli.deny {
+        match rtmdm_check::Rule::from_id(id) {
+            Some(rule) => filter = filter.deny(rule),
+            None => {
+                eprintln!("rtmdm: unknown rule `{id}` in --deny");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if cli.deny_warnings {
+        filter = filter.deny_warnings(true);
+    }
+    let mut spec = rtmdm_core::SystemSpec::with_options(cli.platform.clone(), cli.options.clone());
+    for task in &cli.tasks {
+        spec.push(task.clone());
+    }
+    let report = filter.apply(&spec.check());
+    if cli.json {
+        let json = report.to_json();
+        if let Err(e) = serde_json::from_str::<rtmdm_check::JsonReport>(&json) {
+            eprintln!("rtmdm: check report failed JSON validation: {e:?}");
+            return ExitCode::from(2);
+        }
+        println!("{json}");
+    } else {
+        println!("{}", report.render_text());
+    }
+    if report.error_count() > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -276,7 +351,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "platforms" => return cmd_platforms(),
         "models" => return cmd_models(),
-        "admit" | "simulate" | "optimize" | "trace" => {}
+        "admit" | "simulate" | "optimize" | "trace" | "check" => {}
         _ => return usage(),
     }
     let cli = match parse(&args[1..]) {
@@ -290,6 +365,9 @@ fn main() -> ExitCode {
     if cli.tasks.is_empty() {
         eprintln!("rtmdm: at least one --task is required");
         return usage();
+    }
+    if cmd == "check" {
+        return cmd_check(&cli);
     }
     let fw = match build(&cli) {
         Ok(fw) => fw,

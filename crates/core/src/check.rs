@@ -1,0 +1,299 @@
+//! Static verification of a full system specification.
+//!
+//! [`SystemSpec`] bundles everything admission consumes — a platform,
+//! framework options, and task specifications — and [`SystemSpec::check`]
+//! runs every `rtmdm-check` pass over it in dependency order:
+//!
+//! 1. **platform** sanity (`RTM040`);
+//! 2. per-task **graph** lints (`RTM03x`) and spec-level **timing**
+//!    lints (`RTM020`/`RTM021`), which need no platform;
+//! 3. per-task **plan** well-formedness (`RTM01x`) and **staging** race
+//!    detection (`RTM00x`) over the same lowering admission would use;
+//! 4. the **SRAM layout** replayed through the arena allocator and
+//!    checked for aliasing and overflow (`RTM003`/`RTM004`);
+//! 5. set-level **admission** lints (`RTM02x`, `RTM041`) over the
+//!    priority-ordered task set.
+//!
+//! [`RtMdm::admit`] runs the same verification first and refuses
+//! admission with [`AdmitError::Check`](crate::AdmitError::Check) when
+//! any *structural* error is present (see
+//! [`Rule::blocks_admission`](rtmdm_check::Rule::blocks_admission));
+//! feasibility lints never block, so an overloaded-but-well-formed set
+//! still admits to an unschedulable verdict.
+
+use rtmdm_check::{
+    check_model, check_plan, check_platform, check_sram_regions, check_staging, check_taskset,
+    check_timing, AdmissionContext, Finding, Report, Rule, SramRegion,
+};
+use rtmdm_mcusim::PlatformConfig;
+use rtmdm_sched::sim::Policy;
+use rtmdm_sched::TaskSet;
+use rtmdm_xmem::SramArena;
+
+use crate::error::AdmitError;
+use crate::framework::{
+    compute_cap_for, lower_spec, priority_order_for, weight_region_bytes, FrameworkOptions, RtMdm,
+};
+use crate::spec::{Strategy, TaskSpec};
+
+/// A complete system specification for static verification: what
+/// [`RtMdm`] admission consumes, but constructible without going
+/// through (and being rejected by) `add_task`'s eager validation — the
+/// verifier's job is to explain broken specs, not to refuse them.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// Target platform (checked, not assumed valid).
+    pub platform: PlatformConfig,
+    /// Framework options the admission would run with.
+    pub options: FrameworkOptions,
+    /// Task specifications in insertion order.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl SystemSpec {
+    /// Creates a spec for `platform` with default options and no tasks.
+    pub fn new(platform: PlatformConfig) -> Self {
+        SystemSpec::with_options(platform, FrameworkOptions::default())
+    }
+
+    /// Creates a spec with explicit options and no tasks.
+    pub fn with_options(platform: PlatformConfig, options: FrameworkOptions) -> Self {
+        SystemSpec {
+            platform,
+            options,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Adds a task specification (no validation — that is `check`'s
+    /// job).
+    pub fn push(&mut self, spec: TaskSpec) -> &mut Self {
+        self.tasks.push(spec);
+        self
+    }
+
+    /// Runs every static pass and returns the combined report.
+    pub fn check(&self) -> Report {
+        let mut report = Report::new();
+
+        report.extend(check_platform(&self.platform));
+        let platform_ok = report.is_clean();
+
+        // Platform-independent passes run unconditionally.
+        for spec in &self.tasks {
+            report.extend(
+                check_model(&spec.model)
+                    .into_iter()
+                    .map(|f| f.with_task(spec.name.clone())),
+            );
+            report.extend(check_timing(&spec.name, spec.period_us, spec.deadline_us));
+        }
+        if !platform_ok {
+            // Cycle conversions and bus timings are meaningless (or
+            // divide by zero) on an invalid platform.
+            return report;
+        }
+
+        // Lower each task exactly as admission would and check the
+        // resulting plans. Staging-race analysis applies to the
+        // pre-spill plan: spill extras are additional staging traffic,
+        // not part of the double-buffered weight discipline.
+        let cap = compute_cap_for(&self.platform, &self.options, &self.tasks);
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for spec in &self.tasks {
+            match lower_spec(&self.platform, &self.options, spec, cap) {
+                Ok(lowered) => {
+                    report.extend(
+                        check_plan(&lowered.pre_plan, &spec.model, &self.options.cost_model)
+                            .into_iter()
+                            .map(|f| f.with_task(spec.name.clone())),
+                    );
+                    if lowered.strategy == Strategy::RtMdm {
+                        report.extend(
+                            check_staging(&lowered.pre_plan, &self.platform)
+                                .into_iter()
+                                .map(|f| f.with_task(spec.name.clone())),
+                        );
+                    }
+                    tasks.push(lowered.task);
+                }
+                Err(AdmitError::Memory(e)) => {
+                    // An unrealizable segmentation is a plan error.
+                    report.push(
+                        Finding::new(Rule::Rtm012, e.to_string())
+                            .with_task(spec.name.clone())
+                            .with_model(spec.model.name().to_owned()),
+                    );
+                }
+                // Timing inconsistencies are already covered by
+                // `check_timing` above.
+                Err(_) => {}
+            }
+        }
+
+        report.extend(self.check_sram());
+
+        // Set-level lints need every task lowered.
+        if !tasks.is_empty() && tasks.len() == self.tasks.len() {
+            let ts = TaskSet::from_tasks(tasks);
+            let order = priority_order_for(&self.platform, &self.options, &ts);
+            let ordered = ts.reordered(&order);
+            let ctx = AdmissionContext {
+                edf: matches!(self.options.policy, Policy::Edf),
+                work_conserving: self.options.work_conserving,
+                dma_aware: self.options.dma_aware_analysis,
+            };
+            report.extend(check_taskset(&ordered, &self.platform, &ctx));
+        }
+
+        report
+    }
+
+    /// Replays the SRAM layout through the arena allocator and checks
+    /// the placed regions for aliasing and overflow.
+    fn check_sram(&self) -> Vec<Finding> {
+        let mut arena = SramArena::new(self.platform.sram_bytes);
+        let mut regions = Vec::new();
+        let mut place = |arena: &mut SramArena, label: String, bytes: u64| {
+            // The arena rejects zero-size requests; a degenerate spec
+            // still gets a 1-byte region so layout checking proceeds.
+            match arena.alloc(label.clone(), bytes.max(1), 8) {
+                Ok(handle) => {
+                    if let Some(offset) = arena.offset_of(handle) {
+                        regions.push(SramRegion::new(label, offset, bytes.max(1)));
+                    }
+                    None
+                }
+                Err(e) => Some(Finding::new(
+                    Rule::Rtm004,
+                    format!("SRAM layout fails at region `{label}`: {e}"),
+                )),
+            }
+        };
+        let reserve = rtmdm_xmem::SramLayout::RUNTIME_RESERVE;
+        if let Some(f) = place(&mut arena, "runtime-reserve".to_owned(), reserve) {
+            return vec![f];
+        }
+        for spec in &self.tasks {
+            let act = spec.resolved_activation_bytes();
+            if let Some(f) = place(&mut arena, format!("{}-activations", spec.name), act) {
+                return vec![f];
+            }
+            let weights = weight_region_bytes(&self.options, spec);
+            if let Some(f) = place(&mut arena, format!("{}-weights", spec.name), weights) {
+                return vec![f];
+            }
+        }
+        check_sram_regions(&regions, self.platform.sram_bytes)
+    }
+}
+
+impl RtMdm {
+    /// Runs the static verifier over this framework's platform, options,
+    /// and task specifications. [`RtMdm::admit`] calls this implicitly
+    /// and rejects on error-level structural findings.
+    pub fn check(&self) -> Report {
+        SystemSpec {
+            platform: self.platform().clone(),
+            options: self.options().clone(),
+            tasks: self.specs().to_vec(),
+        }
+        .check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_dnn::zoo;
+
+    fn platform() -> PlatformConfig {
+        PlatformConfig::stm32f746_qspi()
+    }
+
+    #[test]
+    fn shipped_configurations_check_clean() {
+        let mut spec = SystemSpec::new(platform());
+        spec.push(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000));
+        spec.push(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000));
+        let report = spec.check();
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn bad_deadline_is_a_non_blocking_error_free_zone() {
+        let mut spec = SystemSpec::new(platform());
+        spec.push(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 200_000));
+        let report = spec.check();
+        assert!(report.findings.iter().any(|f| f.rule == Rule::Rtm020));
+        assert!(report.blocks_admission());
+    }
+
+    #[test]
+    fn invalid_platform_reports_rtm040_and_stops() {
+        let mut spec = SystemSpec::new(platform().with_sram_bytes(16));
+        spec.push(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000));
+        let report = spec.check();
+        assert!(report.findings.iter().any(|f| f.rule == Rule::Rtm040));
+        assert!(report.findings.iter().all(|f| matches!(
+            f.rule,
+            Rule::Rtm040 | Rule::Rtm020 | Rule::Rtm021
+        ) || f.rule.category()
+            == rtmdm_check::Category::Graph));
+    }
+
+    #[test]
+    fn sram_overflow_is_reported_as_rtm004() {
+        let mut spec = SystemSpec::new(platform().with_sram_bytes(48 * 1024));
+        spec.push(
+            TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000)
+                .with_strategy(Strategy::AllInSram),
+        );
+        let report = spec.check();
+        assert!(
+            report.findings.iter().any(|f| f.rule == Rule::Rtm004),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn undersized_buffer_is_reported_as_rtm012() {
+        let mut spec = SystemSpec::new(platform());
+        spec.push(
+            TaskSpec::new("vww", zoo::mobilenet_v1_025(), 500_000, 500_000)
+                .with_buffer_bytes(4 * 1024),
+        );
+        let report = spec.check();
+        assert!(
+            report.findings.iter().any(|f| f.rule == Rule::Rtm012),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn overload_lints_do_not_block_admission() {
+        // resnet8 every 10 ms is hopeless but structurally fine: the
+        // report carries feasibility lints yet admission still runs to
+        // an unschedulable verdict (CLI exit-2 semantics).
+        let mut f = RtMdm::new(platform()).expect("platform");
+        f.add_task(TaskSpec::new("ic", zoo::resnet8(), 10_000, 10_000))
+            .expect("add");
+        let report = f.check();
+        assert!(!report.is_clean());
+        assert!(!report.blocks_admission(), "{}", report.render_text());
+        let admission = f.admit().expect("admission proceeds");
+        assert!(!admission.schedulable());
+    }
+
+    #[test]
+    fn framework_check_matches_system_spec_check() {
+        let mut f = RtMdm::new(platform()).expect("platform");
+        f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("add");
+        let mut spec = SystemSpec::new(platform());
+        spec.push(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000));
+        assert_eq!(f.check().to_json(), spec.check().to_json());
+    }
+}

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use rtmdm_check::Report;
 use rtmdm_mcusim::ConfigError;
 use rtmdm_sched::TaskError;
 use rtmdm_xmem::PlanError;
@@ -24,6 +25,16 @@ pub enum AdmitError {
     },
     /// `simulate` or `admit` was called on an empty framework.
     NoTasks,
+    /// The static verifier found error-level structural findings; the
+    /// full report is attached.
+    Check(Report),
+    /// The exhaustive strategy search cannot handle this many tasks.
+    TooManyTasks {
+        /// Number of tasks in the framework.
+        count: usize,
+        /// The search's task cap.
+        max: usize,
+    },
 }
 
 impl fmt::Display for AdmitError {
@@ -36,6 +47,28 @@ impl fmt::Display for AdmitError {
                 write!(f, "a task named {name} already exists")
             }
             AdmitError::NoTasks => write!(f, "no tasks have been added"),
+            AdmitError::Check(report) => {
+                let mut rules: Vec<&str> = report
+                    .findings
+                    .iter()
+                    .filter(|x| x.severity == rtmdm_check::Severity::Error)
+                    .map(|x| x.rule.id())
+                    .collect();
+                rules.sort_unstable();
+                rules.dedup();
+                write!(
+                    f,
+                    "static verification failed with {} error(s) [{}]",
+                    report.error_count(),
+                    rules.join(", ")
+                )
+            }
+            AdmitError::TooManyTasks { count, max } => {
+                write!(
+                    f,
+                    "strategy search is exhaustive; {count} tasks exceed the {max}-task cap"
+                )
+            }
         }
     }
 }
@@ -81,6 +114,17 @@ mod tests {
         let d = AdmitError::DuplicateName { name: "kws".into() };
         assert!(d.to_string().contains("kws"));
         assert!(d.source().is_none());
+    }
+
+    #[test]
+    fn check_and_cap_variants_display() {
+        use rtmdm_check::{Finding, Rule};
+        let mut report = Report::new();
+        report.push(Finding::new(Rule::Rtm020, "deadline beyond period"));
+        let e = AdmitError::Check(report);
+        assert!(e.to_string().contains("RTM020"), "{e}");
+        let t = AdmitError::TooManyTasks { count: 13, max: 12 };
+        assert!(t.to_string().contains("13"), "{t}");
     }
 
     #[test]

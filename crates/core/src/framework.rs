@@ -186,10 +186,6 @@ impl RtMdm {
         Ok(())
     }
 
-    fn strategy_of(&self, spec: &TaskSpec) -> Strategy {
-        self.options.force_strategy.unwrap_or(spec.strategy)
-    }
-
     /// Replaces every spec's strategy (advisor support).
     ///
     /// # Panics
@@ -215,14 +211,7 @@ impl RtMdm {
     /// The per-segment compute cap used when segmenting: the explicit
     /// option, or a quarter of the shortest deadline in the set.
     fn compute_cap(&self) -> Option<Cycles> {
-        if let Some(us) = self.options.segment_compute_cap_us {
-            return Some(self.platform.cpu.cycles_from_micros(us));
-        }
-        self.specs
-            .iter()
-            .map(|s| self.platform.cpu.cycles_from_micros(s.deadline_us))
-            .min()
-            .map(|d| (d / 4).max(Cycles::new(1)))
+        compute_cap_for(&self.platform, &self.options, &self.specs)
     }
 
     /// Builds the scheduler task set (insertion order) plus each task's
@@ -232,72 +221,16 @@ impl RtMdm {
         let mut tasks = Vec::with_capacity(self.specs.len());
         let mut plans = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
-            let mut seg = match (cap, self.options.tile_oversized_layers) {
-                (Some(cap), true) => rtmdm_xmem::segment_model_tiled(
-                    &spec.model,
-                    &self.options.cost_model,
-                    spec.resolved_buffer_bytes(),
-                    cap,
-                )?,
-                _ => rtmdm_xmem::segment_model_capped(
-                    &spec.model,
-                    &self.options.cost_model,
-                    spec.resolved_buffer_bytes(),
-                    cap,
-                )?,
-            };
-            // Activation spilling: a capped activation budget turns
-            // oversized feature maps into extra staging traffic, priced
-            // into the segment that produces each spilled tensor.
-            if let Some(budget) = spec.activation_budget_bytes {
-                let spill = rtmdm_xmem::spill::plan_spill(&spec.model, budget);
-                for &layer in &spill.spilled_layers {
-                    let extra = 2 * spec.model.nodes()[layer].out_shape.len() as u64;
-                    if let Some(s) = seg
-                        .segments
-                        .iter_mut()
-                        .find(|s| s.first_layer <= layer && layer <= s.last_layer)
-                    {
-                        s.fetch_bytes += extra;
-                    }
-                }
-            }
-            let segments: Vec<Segment> = seg
-                .segments
-                .iter()
-                .map(|s| Segment::new(s.compute_cycles, s.fetch_bytes))
-                .collect();
-            let base = SporadicTask::new(
-                spec.name.clone(),
-                self.platform.cpu.cycles_from_micros(spec.period_us),
-                self.platform.cpu.cycles_from_micros(spec.deadline_us),
-                segments,
-                StagingMode::Overlapped,
-            )?;
-            let task = match self.strategy_of(spec) {
-                Strategy::RtMdm => base,
-                Strategy::FetchThenCompute => baseline::fetch_then_compute(&base, &self.platform),
-                Strategy::WholeDnn => {
-                    baseline::whole_job(&baseline::fetch_then_compute(&base, &self.platform))
-                }
-                Strategy::AllInSram => baseline::resident(&base),
-            };
-            tasks.push(task);
-            plans.push(seg);
+            let lowered = lower_spec(&self.platform, &self.options, spec, cap)?;
+            tasks.push(lowered.task);
+            plans.push(lowered.plan);
         }
         Ok((TaskSet::from_tasks(tasks), plans))
     }
 
     /// The priority permutation for the built (insertion-order) set.
     fn priority_order(&self, ts: &TaskSet) -> Vec<usize> {
-        match self.options.assignment {
-            PriorityAssignment::InsertionOrder => (0..ts.len()).collect(),
-            PriorityAssignment::DeadlineMonotonic => dm_order(ts),
-            PriorityAssignment::RateMonotonic => rm_order(ts),
-            PriorityAssignment::Audsley => {
-                audsley(ts, &self.platform).unwrap_or_else(|| dm_order(ts))
-            }
-        }
+        priority_order_for(&self.platform, &self.options, ts)
     }
 
     /// Plans SRAM for the task set, honouring each task's strategy.
@@ -312,12 +245,7 @@ impl RtMdm {
         for spec in &self.specs {
             let act = spec.resolved_activation_bytes();
             arena.alloc(format!("{}-activations", spec.name), act, 8)?;
-            let weights = match self.strategy_of(spec) {
-                Strategy::RtMdm | Strategy::FetchThenCompute => 2 * spec.resolved_buffer_bytes(),
-                // Whole-DNN staging and resident weights both need the
-                // full parameter footprint at once.
-                Strategy::WholeDnn | Strategy::AllInSram => spec.model.total_weight_bytes().max(1),
-            };
+            let weights = weight_region_bytes(&self.options, spec);
             arena.alloc(format!("{}-weights", spec.name), weights, 8)?;
             rows.push(SramRow {
                 task: spec.name.clone(),
@@ -334,18 +262,25 @@ impl RtMdm {
         Ok(rows)
     }
 
-    /// Runs admission control: SRAM layout + schedulability analysis.
+    /// Runs admission control: static verification, SRAM layout, and
+    /// the schedulability analysis.
     ///
     /// # Errors
     ///
-    /// [`AdmitError::NoTasks`] on an empty framework, or memory/task
-    /// errors from planning. An admission that *fails the analysis* is
-    /// not an error — inspect [`Admission::schedulable`].
+    /// [`AdmitError::NoTasks`] on an empty framework, memory/task errors
+    /// from planning, or [`AdmitError::Check`] when the static verifier
+    /// (see [`RtMdm::check`]) reports error-level structural findings.
+    /// An admission that *fails the analysis* is not an error — inspect
+    /// [`Admission::schedulable`].
     pub fn admit(&self) -> Result<Admission, AdmitError> {
         if self.specs.is_empty() {
             return Err(AdmitError::NoTasks);
         }
         let sram = self.plan_sram()?;
+        let report = self.check();
+        if report.blocks_admission() {
+            return Err(AdmitError::Check(report));
+        }
         let (ts, plans) = self.build()?;
         let order = self.priority_order(&ts);
         let ordered = ts.reordered(&order);
@@ -423,6 +358,130 @@ impl RtMdm {
             cpu: self.platform.cpu,
             result,
         })
+    }
+}
+
+/// One spec lowered to scheduler form: its segmentation before and
+/// after activation-spill pricing, plus the strategy-transformed task.
+/// Shared between [`RtMdm::build`] and the static verifier, which needs
+/// the pre-spill plan (spill extras are staging traffic, not part of
+/// the double-buffered weight discipline).
+pub(crate) struct Lowered {
+    /// Segmentation as planned, before spill extras.
+    pub pre_plan: ModelSegmentation,
+    /// Segmentation with spill traffic priced in (what execution uses).
+    pub plan: ModelSegmentation,
+    /// The strategy-transformed sporadic task.
+    pub task: SporadicTask,
+    /// The effective strategy (after any forced override).
+    pub strategy: Strategy,
+}
+
+/// The per-segment compute cap for a spec set: the explicit option
+/// (clamped to at least one cycle), or a quarter of the shortest
+/// deadline.
+pub(crate) fn compute_cap_for(
+    platform: &PlatformConfig,
+    options: &FrameworkOptions,
+    specs: &[TaskSpec],
+) -> Option<Cycles> {
+    if let Some(us) = options.segment_compute_cap_us {
+        return Some(platform.cpu.cycles_from_micros(us).max(Cycles::new(1)));
+    }
+    specs
+        .iter()
+        .map(|s| platform.cpu.cycles_from_micros(s.deadline_us))
+        .min()
+        .map(|d| (d / 4).max(Cycles::new(1)))
+}
+
+/// Lowers one spec: segmentation (tiled or capped), activation-spill
+/// pricing, and the strategy transformation into a [`SporadicTask`].
+pub(crate) fn lower_spec(
+    platform: &PlatformConfig,
+    options: &FrameworkOptions,
+    spec: &TaskSpec,
+    cap: Option<Cycles>,
+) -> Result<Lowered, AdmitError> {
+    let pre_plan = match (cap, options.tile_oversized_layers) {
+        (Some(cap), true) => rtmdm_xmem::segment_model_tiled(
+            &spec.model,
+            &options.cost_model,
+            spec.resolved_buffer_bytes(),
+            cap,
+        )?,
+        _ => rtmdm_xmem::segment_model_capped(
+            &spec.model,
+            &options.cost_model,
+            spec.resolved_buffer_bytes(),
+            cap,
+        )?,
+    };
+    // Activation spilling: a capped activation budget turns oversized
+    // feature maps into extra staging traffic, priced into the segment
+    // that produces each spilled tensor.
+    let mut plan = pre_plan.clone();
+    if let Some(budget) = spec.activation_budget_bytes {
+        let spill = rtmdm_xmem::spill::plan_spill(&spec.model, budget);
+        for &layer in &spill.spilled_layers {
+            let extra = 2 * spec.model.nodes()[layer].out_shape.len() as u64;
+            if let Some(s) = plan
+                .segments
+                .iter_mut()
+                .find(|s| s.first_layer <= layer && layer <= s.last_layer)
+            {
+                s.fetch_bytes += extra;
+            }
+        }
+    }
+    let segments: Vec<Segment> = plan
+        .segments
+        .iter()
+        .map(|s| Segment::new(s.compute_cycles, s.fetch_bytes))
+        .collect();
+    let base = SporadicTask::new(
+        spec.name.clone(),
+        platform.cpu.cycles_from_micros(spec.period_us),
+        platform.cpu.cycles_from_micros(spec.deadline_us),
+        segments,
+        StagingMode::Overlapped,
+    )?;
+    let strategy = options.force_strategy.unwrap_or(spec.strategy);
+    let task = match strategy {
+        Strategy::RtMdm => base,
+        Strategy::FetchThenCompute => baseline::fetch_then_compute(&base, platform),
+        Strategy::WholeDnn => baseline::whole_job(&baseline::fetch_then_compute(&base, platform)),
+        Strategy::AllInSram => baseline::resident(&base),
+    };
+    Ok(Lowered {
+        pre_plan,
+        plan,
+        task,
+        strategy,
+    })
+}
+
+/// The priority permutation of `ts` under the configured assignment.
+pub(crate) fn priority_order_for(
+    platform: &PlatformConfig,
+    options: &FrameworkOptions,
+    ts: &TaskSet,
+) -> Vec<usize> {
+    match options.assignment {
+        PriorityAssignment::InsertionOrder => (0..ts.len()).collect(),
+        PriorityAssignment::DeadlineMonotonic => dm_order(ts),
+        PriorityAssignment::RateMonotonic => rm_order(ts),
+        PriorityAssignment::Audsley => audsley(ts, platform).unwrap_or_else(|| dm_order(ts)),
+    }
+}
+
+/// The SRAM weight region a spec reserves under its effective strategy:
+/// a double buffer for streaming strategies, the full parameter
+/// footprint for whole-DNN staging and resident weights.
+pub(crate) fn weight_region_bytes(options: &FrameworkOptions, spec: &TaskSpec) -> u64 {
+    match options.force_strategy.unwrap_or(spec.strategy) {
+        Strategy::RtMdm | Strategy::FetchThenCompute => 2 * spec.resolved_buffer_bytes(),
+        Strategy::WholeDnn | Strategy::AllInSram => spec.model.total_weight_bytes().max(1),
     }
 }
 

@@ -48,12 +48,14 @@
 #![warn(missing_docs)]
 
 mod advisor;
+mod check;
 mod error;
 mod framework;
 pub mod report;
 mod spec;
 
 pub use advisor::OptimizeOutcome;
+pub use check::SystemSpec;
 pub use error::AdmitError;
 pub use framework::{Admission, FrameworkOptions, PriorityAssignment, RtMdm, RunReport, SramRow};
 pub use spec::{Strategy, TaskSpec};

@@ -240,13 +240,14 @@ impl Extend<SporadicTask> for TaskSet {
     }
 }
 
-/// `num/den` in parts per million, rounding up; 0 if `den` is 0.
+/// `num/den` in parts per million, rounding up; 0 if `den` is 0,
+/// saturating at `u64::MAX` for pathological ratios (a 2^64-scale
+/// utilization is unschedulable whichever way it is reported).
 pub(crate) fn ratio_ppm(num: u64, den: u64) -> u64 {
     if den == 0 {
         return 0;
     }
-    u64::try_from((u128::from(num) * 1_000_000u128).div_ceil(u128::from(den)))
-        .expect("utilization overflow")
+    u64::try_from((u128::from(num) * 1_000_000u128).div_ceil(u128::from(den))).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -352,5 +353,7 @@ mod tests {
         assert_eq!(ratio_ppm(1, 3), 333_334);
         assert_eq!(ratio_ppm(0, 5), 0);
         assert_eq!(ratio_ppm(5, 0), 0);
+        // Pathological ratios saturate instead of panicking.
+        assert_eq!(ratio_ppm(u64::MAX, 1), u64::MAX);
     }
 }

@@ -16,6 +16,8 @@
 //!   prefetch pipeline timing.
 //! - [`sched`] — segmented real-time task model, schedulers,
 //!   schedulability analyses, priority assignment, task-set generation.
+//! - [`check`] — static verifier and lint engine: staging races, plan
+//!   well-formedness, admission lints, graph lints, platform sanity.
 //! - [`core`] — the RT-MDM framework: admission control + executor.
 //!
 //! ## Quickstart
@@ -38,6 +40,7 @@
 //! # }
 //! ```
 
+pub use rtmdm_check as check;
 pub use rtmdm_core as core;
 pub use rtmdm_dnn as dnn;
 pub use rtmdm_mcusim as mcusim;

@@ -1,0 +1,298 @@
+//! Cross-validation of the static verifier against the simulator.
+//!
+//! Two directions:
+//!
+//! 1. **Clean implies disciplined** — any system spec whose
+//!    [`SystemSpec::check`] report is clean simulates without ever
+//!    violating the staging discipline in the trace: a segment's fetch
+//!    completes before its compute starts, and the fetch of group `g`
+//!    never starts before the compute of group `g − 2` has retired its
+//!    double-buffer half (the two-ahead window). Exercised over random
+//!    model × period specs via proptest.
+//!
+//! 2. **Detected implies observable** — a staging race the verifier
+//!    reports statically (`RTM002`) is reproducible as a temporal
+//!    overlap between the offending DMA-write slice and the CPU-read
+//!    slice in an [`rtmdm-obs` timeline](rt_mdm::obs::Timeline) built
+//!    from the race's windows.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use rt_mdm::check::{check_staging, staging_races, Rule};
+use rt_mdm::core::{RtMdm, SystemSpec, TaskSpec};
+use rt_mdm::dnn::zoo;
+use rt_mdm::mcusim::{Cycles, JobId, PlatformConfig, SegmentId, TaskId, Trace, TraceKind};
+use rt_mdm::obs::Timeline;
+use rt_mdm::xmem::{ModelSegmentation, SegmentPlan};
+
+fn platform() -> PlatformConfig {
+    PlatformConfig::stm32f746_qspi()
+}
+
+/// Per-(task, job) staging observations extracted from a trace.
+#[derive(Default)]
+struct JobStaging {
+    /// `segment -> fetch start time`.
+    fetch_start: BTreeMap<usize, Cycles>,
+    /// `segment -> fetch completion time`.
+    fetch_done: BTreeMap<usize, Cycles>,
+    /// `segment -> compute start time`.
+    seg_start: BTreeMap<usize, Cycles>,
+    /// `segment -> compute completion time`.
+    seg_done: BTreeMap<usize, Cycles>,
+}
+
+fn collect(trace: &Trace) -> BTreeMap<(TaskId, JobId), JobStaging> {
+    let mut jobs: BTreeMap<(TaskId, JobId), JobStaging> = BTreeMap::new();
+    for e in trace.events() {
+        match e.kind {
+            TraceKind::FetchStarted {
+                task, job, segment, ..
+            } => {
+                jobs.entry((task, job))
+                    .or_default()
+                    .fetch_start
+                    .insert(segment.0, e.time);
+            }
+            TraceKind::FetchCompleted { task, job, segment } => {
+                jobs.entry((task, job))
+                    .or_default()
+                    .fetch_done
+                    .insert(segment.0, e.time);
+            }
+            TraceKind::SegmentStarted { task, job, segment } => {
+                jobs.entry((task, job))
+                    .or_default()
+                    .seg_start
+                    .insert(segment.0, e.time);
+            }
+            TraceKind::SegmentCompleted { task, job, segment } => {
+                jobs.entry((task, job))
+                    .or_default()
+                    .seg_done
+                    .insert(segment.0, e.time);
+            }
+            _ => {}
+        }
+    }
+    jobs
+}
+
+/// Asserts the staging discipline over one job's observations.
+///
+/// Incomplete pairs (the horizon cut a fetch or segment open) are
+/// skipped: the invariants constrain events that happened, not events
+/// the trace never recorded.
+fn assert_job_staging(key: (TaskId, JobId), job: &JobStaging) -> Result<(), TestCaseError> {
+    // Fetch-before-compute, per segment.
+    for (&seg, &done) in &job.fetch_done {
+        if let Some(&start) = job.seg_start.get(&seg) {
+            prop_assert!(
+                done <= start,
+                "{:?}: segment {} started at {} before its fetch completed at {}",
+                key,
+                seg,
+                start,
+                done
+            );
+        }
+    }
+    // Two-ahead window: group g's fetch waits for group g-2's computes.
+    // Groups are the fetch-bearing segments; group g covers segments
+    // [fs[g], fs[g+1]).
+    let fs: Vec<usize> = job.fetch_start.keys().copied().collect();
+    for g in 2..fs.len() {
+        let Some(&fetch_at) = job.fetch_start.get(&fs[g]) else {
+            continue;
+        };
+        let retired = (fs[g - 2]..fs[g - 1])
+            .filter_map(|s| job.seg_done.get(&s))
+            .max();
+        if let Some(&retired) = retired {
+            prop_assert!(
+                fetch_at >= retired,
+                "{:?}: fetch of group {} (segment {}) at {} precedes retirement of \
+                 group {} at {}",
+                key,
+                g,
+                fs[g],
+                fetch_at,
+                g - 2,
+                retired
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Direction 1: a check-clean spec never trips the staging invariants
+/// in simulation.
+fn check_clean_simulates_clean(
+    specs: &[(usize, u64)],
+    horizon_us: u64,
+) -> Result<(), TestCaseError> {
+    let models: &[fn() -> rt_mdm::dnn::Model] =
+        &[zoo::micro_mlp, zoo::ds_cnn, zoo::lenet5, zoo::resnet8];
+    let mut spec = SystemSpec::new(platform());
+    for (i, &(model, period_ms)) in specs.iter().enumerate() {
+        let build = models[model % models.len()];
+        let us = period_ms * 1_000;
+        spec.push(TaskSpec::new(format!("t{i}"), build(), us, us));
+    }
+    if !spec.check().is_clean() {
+        return Ok(()); // the property only claims anything for clean specs
+    }
+
+    let mut fw = RtMdm::new(spec.platform.clone()).expect("checked platform is valid");
+    for task in &spec.tasks {
+        fw.add_task(task.clone())
+            .expect("check-clean specs pass eager validation");
+    }
+    let run = fw.simulate(horizon_us).expect("check-clean specs simulate");
+    for (key, job) in collect(&run.result.trace) {
+        assert_job_staging(key, &job)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(24),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn clean_specs_respect_staging_discipline_in_simulation(
+        model in 0usize..4,
+        period_ms in 40u64..400,
+    ) {
+        check_clean_simulates_clean(&[(model, period_ms)], 2 * period_ms * 1_000)?;
+    }
+
+    #[test]
+    fn clean_pairs_respect_staging_discipline_in_simulation(
+        a in 0usize..4,
+        b in 0usize..4,
+        pa in 50u64..250,
+        pb in 250u64..1000,
+    ) {
+        check_clean_simulates_clean(&[(a, pa), (b, pb)], 2 * pb * 1_000)?;
+    }
+}
+
+/// The known-broken plan from the verifier's own test bed: segment 2's
+/// fetch overruns its half and spills into the half segment 1 still
+/// reads.
+fn broken_plan() -> ModelSegmentation {
+    let seg = |index, fetch_bytes| SegmentPlan {
+        index,
+        first_layer: index,
+        last_layer: index,
+        fetch_bytes,
+        compute_cycles: Cycles::new(100_000),
+    };
+    ModelSegmentation {
+        model: "synthetic".to_owned(),
+        buffer_bytes: 1024,
+        segments: vec![seg(0, 512), seg(1, 512), seg(2, 1536)],
+    }
+}
+
+/// Direction 2: a statically detected race materializes as overlapping
+/// fetch/compute slices in the observability timeline.
+#[test]
+fn detected_race_is_an_observable_timeline_overlap() {
+    let plan = broken_plan();
+    let p = platform();
+
+    let races = staging_races(&plan, &p);
+    assert!(!races.is_empty(), "fixture must race");
+    assert!(
+        check_staging(&plan, &p)
+            .iter()
+            .any(|f| f.rule == Rule::Rtm002),
+        "the race must surface as RTM002"
+    );
+
+    // Realize the race's static windows as a trace and rebuild them
+    // through the timeline analytics: the DMA-write slice and the
+    // CPU-read slice must overlap in time, exactly as the verifier
+    // claimed.
+    let (task, job) = (TaskId(0), JobId(0));
+    let mut horizon = Cycles::ZERO;
+    let mut events: Vec<(u64, TraceKind)> = Vec::new();
+    for race in &races {
+        let (f0, f1) = race.write_window;
+        let (c0, c1) = race.read_window;
+        let segment = SegmentId(race.write_segment);
+        let bytes = plan.segments[race.write_segment].fetch_bytes;
+        events.push((
+            f0,
+            TraceKind::FetchStarted {
+                task,
+                job,
+                segment,
+                bytes,
+            },
+        ));
+        events.push((f1, TraceKind::FetchCompleted { task, job, segment }));
+        let segment = SegmentId(race.read_segment);
+        events.push((c0, TraceKind::SegmentStarted { task, job, segment }));
+        events.push((c1, TraceKind::SegmentCompleted { task, job, segment }));
+        horizon = horizon.max(Cycles::new(f1.max(c1)));
+    }
+    // Overlapping windows interleave, and the trace requires
+    // nondecreasing timestamps.
+    events.sort_by_key(|&(t, _)| t);
+    let mut trace = Trace::new();
+    for (t, kind) in events {
+        trace.push(Cycles::new(t), kind);
+    }
+
+    let timeline = Timeline::from_trace(&trace, horizon);
+    for race in &races {
+        let fetch = timeline
+            .fetches()
+            .iter()
+            .find(|f| f.segment.0 == race.write_segment)
+            .expect("write slice present");
+        let read = timeline
+            .segments()
+            .iter()
+            .find(|s| s.segment.0 == race.read_segment)
+            .expect("read slice present");
+        assert!(
+            fetch.start < read.end && read.start < fetch.end,
+            "race {race:?} did not overlap in the timeline: fetch {}..{}, read {}..{}",
+            fetch.start,
+            fetch.end,
+            read.start,
+            read.end
+        );
+    }
+    // The overlap also registers in the aggregate CPU/DMA concurrency.
+    assert!(timeline.overlap_cycles() > Cycles::ZERO);
+}
+
+/// A clean plan's static pipeline yields no races, and the same clean
+/// schedule realized as a trace keeps fetch and the *dependent* compute
+/// disjoint per segment — the verifier and the analytics agree on what
+/// "disciplined" means.
+#[test]
+fn clean_plan_has_no_races_and_check_staging_is_silent() {
+    let plan = rt_mdm::xmem::segment_model(
+        &zoo::ds_cnn(),
+        &rt_mdm::dnn::CostModel::cmsis_nn_m7(),
+        8 * 1024,
+    )
+    .expect("plan");
+    assert!(plan.segments.len() >= 2, "fixture must be multi-segment");
+    let p = platform();
+    assert!(staging_races(&plan, &p).is_empty());
+    assert!(check_staging(&plan, &p).is_empty());
+}

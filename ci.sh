@@ -27,6 +27,32 @@ trace_out="$(mktemp)"
 cargo test -q --test observability chrome_export_round_trips_through_serde_json
 rm -f "$trace_out"
 
+echo "== rtmdm fault-injection smoke =="
+# A fixed-seed nonzero-rate run must succeed and export re-parseable
+# JSON; a zero-rate run must be byte-identical to one with no fault
+# flags at all (the inactive plan is provably free).
+fault_out="$(mktemp)"
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --fault-rate 200000 --fault-seed 42 --fault-jitter 25 \
+  --out "$fault_out" --format chrome
+fault_out2="$(mktemp)"
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --fault-rate 200000 --fault-seed 42 --fault-jitter 25 \
+  --out "$fault_out2" --format chrome
+cmp "$fault_out" "$fault_out2" || {
+  echo "fault smoke: seeded runs are not reproducible" >&2; exit 1; }
+grep -q '"cat":"fault"' "$fault_out" || {
+  echo "fault smoke: no fault events in export" >&2; exit 1; }
+plain_out="$(mktemp)"
+zero_out="$(mktemp)"
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --out "$plain_out" --format chrome
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --fault-rate 0 --fault-seed 123 --out "$zero_out" --format chrome
+cmp "$plain_out" "$zero_out" || {
+  echo "fault smoke: zero-rate run differs from no-plan run" >&2; exit 1; }
+rm -f "$fault_out" "$fault_out2" "$plain_out" "$zero_out"
+
 echo "== rtmdm check sweep =="
 # Every zoo model on every platform preset must verify to parseable
 # JSON and a 0/2 exit; the JSON is re-parsed by the CLI itself (it

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use rtmdm_mcusim::{Cycles, PlatformConfig};
+use rtmdm_mcusim::{Cycles, FaultPlan, PlatformConfig};
 use rtmdm_sched::gen::{generate, TasksetParams};
 use rtmdm_sched::sim::{simulate, Policy, SimConfig};
 
@@ -40,6 +40,7 @@ fn bench_jittered(c: &mut Criterion) {
         exec_scale_min_ppm: 500_000,
         seed: 11,
         work_conserving: false,
+        fault: FaultPlan::NONE,
     };
     c.bench_function("simulator/jittered_4tasks_1s", |b| {
         b.iter(|| simulate(&ts, &p, &config))

@@ -1,0 +1,7 @@
+//! Regenerates experiment `f11_robustness` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit(
+        "f11_robustness",
+        &rtmdm_bench::experiments::f11_robustness(),
+    );
+}

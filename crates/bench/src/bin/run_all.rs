@@ -14,7 +14,7 @@ use rtmdm_bench::{emit, experiments as e, par, results_dir, telemetry};
 type Experiment = (&'static str, fn() -> String);
 
 fn main() {
-    let experiments: [Experiment; 13] = [
+    let experiments: [Experiment; 14] = [
         ("t1_models", e::t1_models),
         ("t2_platforms", e::t2_platforms),
         ("t3_wcrt", e::t3_wcrt),
@@ -28,6 +28,7 @@ fn main() {
         ("f8_ablation", e::f8_ablation),
         ("f9_energy", e::f9_energy),
         ("f10_platforms", e::f10_platforms),
+        ("f11_robustness", e::f11_robustness),
     ];
     let registry = rtmdm_obs::metrics::global();
     registry.enable(true);

@@ -5,6 +5,7 @@ mod blocking;
 mod energy;
 mod latency;
 mod platforms;
+mod robustness;
 mod sched_ratio;
 mod tables;
 
@@ -13,6 +14,7 @@ pub use blocking::f6_blocking;
 pub use energy::f9_energy;
 pub use latency::{f1_latency, f4_sram_budget, f5_bandwidth};
 pub use platforms::f10_platforms;
+pub use robustness::f11_robustness;
 pub use sched_ratio::{f2_sched_ratio, f3_miss_ratio, f7_opa};
 pub use tables::{t1_models, t2_platforms, t3_wcrt};
 

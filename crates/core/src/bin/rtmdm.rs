@@ -15,7 +15,11 @@
 //! `all-in-sram`. The `trace` subcommand simulates like `simulate`,
 //! then exports the event trace as Chrome trace-event JSON (load it in
 //! Perfetto / `chrome://tracing`) or JSONL, and with `--gantt` renders
-//! an ASCII Gantt chart. The `check` subcommand runs the static
+//! an ASCII Gantt chart. `--fault-rate PPM` (with `--fault-seed`,
+//! `--fault-retries`, `--fault-jitter`) turns on seeded DMA fault
+//! injection for `simulate`/`trace`, and `--miss-policy
+//! continue|abort|skip-next` selects what the runtime does with jobs
+//! that miss their deadline. The `check` subcommand runs the static
 //! verifier without admitting: `--json` emits the machine-readable
 //! report, `--deny-warnings` escalates warnings to errors, and
 //! `--allow RTM0xx` / `--deny RTM0xx` tune individual rules. Exit
@@ -30,12 +34,15 @@ use rtmdm_dnn::zoo;
 use rtmdm_mcusim::PlatformConfig;
 use rtmdm_obs::Timeline;
 use rtmdm_sched::sim::Policy;
+use rtmdm_sched::MissPolicy;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rtmdm <platforms|models|admit|simulate|optimize|trace|check> \
          [--platform NAME] [--task name=model@period_ms[/deadline_ms][:strategy]]… \
          [--seconds S] [--jitter PCT] [--seed N] [--edf] [--work-conserving] \
+         [--fault-rate PPM] [--fault-seed N] [--fault-retries N] [--fault-jitter CYCLES] \
+         [--miss-policy continue|abort|skip-next] \
          [--out PATH] [--format chrome|jsonl] [--gantt] \
          [--json] [--deny-warnings] [--allow RULE] [--deny RULE]"
     );
@@ -153,6 +160,43 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
             }
             "--edf" => options.policy = Policy::Edf,
             "--work-conserving" => options.work_conserving = true,
+            "--fault-rate" => {
+                options.fault.dma_fault_rate_ppm = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError::Usage)?;
+            }
+            "--fault-seed" => {
+                options.fault.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError::Usage)?;
+            }
+            "--fault-retries" => {
+                options.fault.max_retries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError::Usage)?;
+            }
+            "--fault-jitter" => {
+                options.fault.jitter_max_cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError::Usage)?;
+            }
+            "--miss-policy" => {
+                let p = it.next().ok_or(CliError::Usage)?;
+                options.miss_policy = match p.as_str() {
+                    "continue" => MissPolicy::Continue,
+                    "abort" => MissPolicy::Abort,
+                    "skip-next" => MissPolicy::SkipNextRelease,
+                    _ => {
+                        return Err(CliError::Msg(format!(
+                            "unknown --miss-policy `{p}` (expected `continue`, `abort`, or `skip-next`)"
+                        )))
+                    }
+                };
+            }
             "--out" => out = Some(it.next().ok_or(CliError::Usage)?.clone()),
             "--format" => {
                 let f = it.next().ok_or(CliError::Usage)?;
@@ -405,6 +449,21 @@ fn main() -> ExitCode {
                 Ok(run) => {
                     println!("{}", run.to_table());
                     println!("misses: {}", run.deadline_misses());
+                    // Only fault/policy runs grow the extra line, so
+                    // default invocations stay byte-identical.
+                    if fw.options().fault.is_active()
+                        || fw.options().miss_policy != MissPolicy::Continue
+                    {
+                        let m = &run.result.metrics;
+                        println!(
+                            "faults: {} injected, {} retries ({} refetch cycles), {} shed, {} aborted",
+                            m.injected_faults,
+                            m.fetch_retries,
+                            m.refetch_cycles.get(),
+                            m.shed_jobs,
+                            m.aborted_jobs
+                        );
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

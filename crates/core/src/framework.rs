@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use rtmdm_dnn::CostModel;
-use rtmdm_mcusim::{Cycles, PlatformConfig};
+use rtmdm_mcusim::{Cycles, FaultPlan, PlatformConfig};
 use rtmdm_mcusim::{EnergyModel, EnergyReport};
 use rtmdm_sched::analysis::{
     edf_demand_test, occupancy_utilization_ppm, rta_limited_preemption_with, rta_memory_oblivious,
@@ -12,8 +12,10 @@ use rtmdm_sched::analysis::{
 use rtmdm_sched::assign::{audsley, dm_order, rm_order};
 use rtmdm_sched::baseline;
 use rtmdm_sched::sim::{simulate, Policy, SimConfig, SimResult};
-use rtmdm_sched::{Segment, SporadicTask, StagingMode, TaskSet};
-use rtmdm_xmem::{segment_model, ModelSegmentation, PlanError, SramArena};
+use rtmdm_sched::{MissPolicy, Segment, SporadicTask, StagingMode, TaskSet};
+use rtmdm_xmem::{
+    segment_model, segments_retry_budget, ModelSegmentation, PlanError, RetryPolicy, SramArena,
+};
 
 use crate::error::AdmitError;
 use crate::report;
@@ -66,6 +68,15 @@ pub struct FrameworkOptions {
     /// segment cap are tiled into row-slices with intra-layer preemption
     /// points, lifting the blocking floor of layer granularity.
     pub tile_oversized_layers: bool,
+    /// The fault environment the simulator injects and admission charges
+    /// for ([`FaultPlan::NONE`] by default — provably free when
+    /// inactive).
+    #[serde(default)]
+    pub fault: FaultPlan,
+    /// Framework-wide deadline-miss policy; individual specs can
+    /// override it via [`TaskSpec::with_miss_policy`].
+    #[serde(default)]
+    pub miss_policy: MissPolicy,
 }
 
 impl Default for FrameworkOptions {
@@ -79,6 +90,8 @@ impl Default for FrameworkOptions {
             work_conserving: false,
             segment_compute_cap_us: None,
             tile_oversized_layers: true,
+            fault: FaultPlan::NONE,
+            miss_policy: MissPolicy::Continue,
         }
     }
 }
@@ -289,7 +302,7 @@ impl RtMdm {
         } else {
             SchedulerMode::Gated
         };
-        let analysis = match self.options.policy {
+        let mut analysis = match self.options.policy {
             Policy::Edf => AnalysisOutcome {
                 // The EDF processor-demand test yields a yes/no verdict,
                 // not per-task bounds.
@@ -304,6 +317,36 @@ impl RtMdm {
             // like fixed priority.
             _ => rta_limited_preemption_with(&ordered, &self.platform, mode),
         };
+        // Retry-budget admission: under an active fault plan each task
+        // must still meet its deadline after paying the worst tolerated
+        // re-fetch pattern (bounded by `max_retries` per transfer).
+        // Resident tasks stage nothing and are immune. EDF yields no
+        // per-task bounds, so its verdict cannot be budget-adjusted —
+        // a documented limitation of the demand test.
+        let retry = RetryPolicy::from_plan(&self.options.fault);
+        let retry_budgets: Vec<Cycles> = ordered
+            .tasks()
+            .iter()
+            .map(|t| {
+                if t.mode == StagingMode::Resident {
+                    Cycles::ZERO
+                } else {
+                    segments_retry_budget(
+                        t.segments.iter().map(|s| s.fetch_bytes),
+                        &self.platform.ext_mem,
+                        &retry,
+                    )
+                }
+            })
+            .collect();
+        if !retry.is_none() {
+            analysis.schedulable = analysis.schedulable
+                && ordered.tasks().iter().enumerate().all(|(p, t)| {
+                    analysis
+                        .response_of(p)
+                        .is_none_or(|r| r + retry_budgets[p] <= t.deadline)
+                });
+        }
         let occupancy_ppm = occupancy_utilization_ppm(&ordered, &self.platform);
         Ok(Admission {
             order,
@@ -314,6 +357,7 @@ impl RtMdm {
             sram,
             occupancy_ppm,
             plans,
+            retry_budgets,
         })
     }
 
@@ -351,6 +395,7 @@ impl RtMdm {
             exec_scale_min_ppm,
             seed,
             work_conserving: self.options.work_conserving,
+            fault: self.options.fault,
         };
         let result = simulate(&ordered, &self.platform, &config);
         Ok(RunReport {
@@ -452,7 +497,8 @@ pub(crate) fn lower_spec(
         Strategy::FetchThenCompute => baseline::fetch_then_compute(&base, platform),
         Strategy::WholeDnn => baseline::whole_job(&baseline::fetch_then_compute(&base, platform)),
         Strategy::AllInSram => baseline::resident(&base),
-    };
+    }
+    .with_miss_policy(spec.miss_policy.unwrap_or(options.miss_policy));
     Ok(Lowered {
         pre_plan,
         plan,
@@ -516,13 +562,26 @@ pub struct Admission {
     pub occupancy_ppm: u64,
     /// Per-task segmentation plans (insertion order).
     pub plans: Vec<ModelSegmentation>,
+    /// Worst-case extra staging cycles each task may pay for bounded
+    /// re-fetches under the configured fault plan (priority order; all
+    /// zero when the plan is inactive).
+    #[serde(default)]
+    pub retry_budgets: Vec<Cycles>,
 }
 
 impl Admission {
     /// Whether the task set passed both memory planning and the timing
-    /// analysis.
+    /// analysis (with retry budgets charged when a fault plan is
+    /// active).
     pub fn schedulable(&self) -> bool {
         self.analysis.schedulable
+    }
+
+    /// The retry budget of priority `p`, zero when none was computed
+    /// (inactive fault plan, or an admission deserialized from an older
+    /// schema).
+    pub fn retry_budget_of(&self, p: usize) -> Cycles {
+        self.retry_budgets.get(p).copied().unwrap_or(Cycles::ZERO)
     }
 
     /// Total SRAM the plan consumes (activations + weight buffers +
@@ -553,7 +612,12 @@ impl Admission {
                         (_, None) => "diverged".to_owned(),
                     },
                     match (self.policy, self.analysis.response_of(p)) {
-                        (_, Some(r)) if r <= self.deadlines[p] => "yes".to_owned(),
+                        // The bound must hold with the task's retry
+                        // budget charged against its slack (zero when
+                        // no fault plan is active).
+                        (_, Some(r)) if r + self.retry_budget_of(p) <= self.deadlines[p] => {
+                            "yes".to_owned()
+                        }
                         (Policy::Edf, None) if self.analysis.schedulable => "yes".to_owned(),
                         _ => "NO".to_owned(),
                     },
@@ -852,6 +916,132 @@ mod tests {
         let idx = admission.names.iter().position(|n| n == "control").unwrap();
         let bound = admission.analysis.response_of(idx).expect("bound");
         assert!(bound >= run.max_response_of("control").expect("ran"));
+    }
+
+    #[test]
+    fn inactive_fault_plan_leaves_admission_untouched() {
+        let mk = |fault: FaultPlan| {
+            let options = FrameworkOptions {
+                fault,
+                ..FrameworkOptions::default()
+            };
+            let mut f =
+                RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+            f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+                .expect("add");
+            f.admit().expect("admit")
+        };
+        let plain = mk(FaultPlan::NONE);
+        // Zero rate and zero jitter with any seed/retry bound: free.
+        let idle = mk(FaultPlan {
+            seed: 1234,
+            dma_fault_rate_ppm: 0,
+            max_retries: 9,
+            jitter_max_cycles: 0,
+        });
+        assert_eq!(plain.to_table(), idle.to_table());
+        assert_eq!(plain.analysis, idle.analysis);
+        assert!(idle.retry_budgets.iter().all(|b| b.is_zero()));
+    }
+
+    #[test]
+    fn retry_budget_charges_slack_and_can_flip_admission() {
+        let mk = |fault: FaultPlan| {
+            let options = FrameworkOptions {
+                fault,
+                ..FrameworkOptions::default()
+            };
+            let mut f =
+                RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+            f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+                .expect("add");
+            f.admit().expect("admit")
+        };
+        assert!(mk(FaultPlan::NONE).schedulable());
+        // A modest plan leaves plenty of slack: still schedulable, but
+        // the budget is visible and positive.
+        let modest = mk(FaultPlan::with_rate(7, 1_000));
+        assert!(modest.schedulable(), "{}", modest.to_table());
+        assert!(modest.retry_budget_of(0) > Cycles::ZERO);
+        // A pathological plan (huge per-attempt jitter) exhausts the
+        // slack: same task set, admission now refuses.
+        let harsh = mk(FaultPlan {
+            seed: 7,
+            dma_fault_rate_ppm: 1_000,
+            max_retries: 3,
+            jitter_max_cycles: 2_000_000,
+        });
+        assert!(!harsh.schedulable(), "{}", harsh.to_table());
+        assert!(harsh.to_table().contains("NO"));
+    }
+
+    #[test]
+    fn resident_tasks_carry_no_retry_budget() {
+        let options = FrameworkOptions {
+            fault: FaultPlan::with_rate(3, 10_000),
+            ..FrameworkOptions::default()
+        };
+        let mut f =
+            RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+        f.add_task(
+            TaskSpec::new("ctl", zoo::micro_mlp(), 10_000, 10_000)
+                .with_strategy(Strategy::AllInSram),
+        )
+        .expect("ctl");
+        f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("kws");
+        let admission = f.admit().expect("admit");
+        let ctl = admission.names.iter().position(|n| n == "ctl").unwrap();
+        let kws = admission.names.iter().position(|n| n == "kws").unwrap();
+        assert_eq!(admission.retry_budget_of(ctl), Cycles::ZERO);
+        assert!(admission.retry_budget_of(kws) > Cycles::ZERO);
+    }
+
+    #[test]
+    fn miss_policy_flows_from_options_and_spec_override() {
+        let options = FrameworkOptions {
+            miss_policy: MissPolicy::Abort,
+            ..FrameworkOptions::default()
+        };
+        let mut f =
+            RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+        f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("kws");
+        f.add_task(
+            TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000)
+                .with_miss_policy(MissPolicy::SkipNextRelease),
+        )
+        .expect("ic");
+        let (ts, _) = f.build_public().expect("build");
+        let policy_of = |name: &str| {
+            ts.tasks()
+                .iter()
+                .find(|t| t.name == name)
+                .map(|t| t.miss_policy)
+                .unwrap()
+        };
+        assert_eq!(policy_of("kws"), MissPolicy::Abort);
+        assert_eq!(policy_of("ic"), MissPolicy::SkipNextRelease);
+    }
+
+    #[test]
+    fn fault_options_thread_into_simulation() {
+        let options = FrameworkOptions {
+            fault: FaultPlan::with_rate(11, 500_000),
+            ..FrameworkOptions::default()
+        };
+        let mut f =
+            RtMdm::with_options(PlatformConfig::stm32f746_qspi(), options).expect("platform");
+        f.add_task(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000))
+            .expect("add");
+        let a = f.simulate(500_000).expect("simulate");
+        let b = f.simulate(500_000).expect("simulate");
+        assert!(a.result.metrics.injected_faults > 0, "faults must fire");
+        assert_eq!(a.result.metrics, b.result.metrics, "seeded ⇒ reproducible");
+        assert_eq!(
+            a.result.metrics.fetch_retries,
+            a.result.metrics.injected_faults
+        );
     }
 
     #[test]

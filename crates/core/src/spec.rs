@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use rtmdm_dnn::Model;
+use rtmdm_sched::MissPolicy;
 
 /// Framework-level execution strategy of one task (maps onto the
 /// staging modes and baseline transformations of `rtmdm-sched`).
@@ -69,6 +70,10 @@ pub struct TaskSpec {
     /// the framework spill oversized feature maps to external memory
     /// (extra staging traffic priced into the affected segments).
     pub activation_budget_bytes: Option<u64>,
+    /// Per-task deadline-miss policy; `None` inherits the framework's
+    /// [`FrameworkOptions::miss_policy`](crate::FrameworkOptions::miss_policy).
+    #[serde(default)]
+    pub miss_policy: Option<MissPolicy>,
 }
 
 impl TaskSpec {
@@ -83,6 +88,7 @@ impl TaskSpec {
             buffer_bytes: None,
             strategy: Strategy::RtMdm,
             activation_budget_bytes: None,
+            miss_policy: None,
         }
     }
 
@@ -102,6 +108,12 @@ impl TaskSpec {
     /// feature maps to external memory.
     pub fn with_activation_budget(mut self, bytes: u64) -> Self {
         self.activation_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Overrides the deadline-miss policy for this task only.
+    pub fn with_miss_policy(mut self, policy: MissPolicy) -> Self {
+        self.miss_policy = Some(policy);
         self
     }
 

@@ -43,6 +43,7 @@
 mod energy;
 mod error;
 mod event;
+mod fault;
 mod platform;
 mod time;
 mod trace;
@@ -51,6 +52,7 @@ mod xbus;
 pub use energy::{EnergyModel, EnergyReport};
 pub use error::ConfigError;
 pub use event::EventQueue;
+pub use fault::{FaultInjector, FaultPlan, DEFAULT_MAX_RETRIES};
 pub use platform::{PlatformBuilder, PlatformConfig};
 pub use time::{Cycles, Frequency};
 pub use trace::{JobId, SegmentId, TaskId, Trace, TraceEvent, TraceKind};

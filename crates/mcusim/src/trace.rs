@@ -95,6 +95,19 @@ pub enum TraceKind {
         /// Segment whose weights were staged.
         segment: SegmentId,
     },
+    /// An injected fault corrupted a DMA fetch; the transfer must be
+    /// re-issued in full. Followed by a fresh
+    /// [`TraceKind::FetchStarted`] for the retry.
+    FetchFaulted {
+        /// Owning task.
+        task: TaskId,
+        /// Owning job.
+        job: JobId,
+        /// Segment whose transfer faulted.
+        segment: SegmentId,
+        /// Which attempt faulted (0 = the first transfer).
+        attempt: u32,
+    },
     /// A job retired its last segment.
     JobCompleted {
         /// Owning task.
@@ -117,6 +130,22 @@ pub enum TraceKind {
         task: TaskId,
         /// Task that took it.
         by: TaskId,
+    },
+    /// A job was dropped mid-flight by the `Abort` deadline-miss policy.
+    JobAborted {
+        /// Owning task.
+        task: TaskId,
+        /// Job index.
+        job: JobId,
+    },
+    /// A release was shed by the `SkipNextRelease` deadline-miss policy:
+    /// the job was never created. The job index is the one the skipped
+    /// release would have had.
+    ReleaseShed {
+        /// Owning task.
+        task: TaskId,
+        /// Job index that was skipped.
+        job: JobId,
     },
     /// The CPU went idle (no ready segment). Paired with the next
     /// [`TraceKind::CpuIdleEnd`]; a trace may end mid-idle, in which
@@ -228,6 +257,28 @@ impl Trace {
         self.events
             .iter()
             .filter(|e| matches!(e.kind, TraceKind::DeadlineMissed { task: t, .. } if t == task))
+            .count()
+    }
+
+    /// Total injected DMA transfer faults across all tasks.
+    pub fn injected_faults(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::FetchFaulted { .. }))
+            .count()
+    }
+
+    /// Total shed releases plus aborted jobs — the work the
+    /// deadline-miss policies dropped.
+    pub fn shed_or_aborted(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::ReleaseShed { .. } | TraceKind::JobAborted { .. }
+                )
+            })
             .count()
     }
 

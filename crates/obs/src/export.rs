@@ -7,10 +7,12 @@
 //!   `SegmentStarted`/`SegmentCompleted` pair — the CPU's view of the
 //!   schedule;
 //! - `tid 2` (**DMA**): one complete event per
-//!   `FetchStarted`/`FetchCompleted` pair;
+//!   `FetchStarted`/`FetchCompleted` pair, plus instant events for
+//!   injected transfer faults;
 //! - `tid 10 + k` (one lane per task `k`): one complete event per
-//!   finished job, plus instant events (`ph: "i"`) for deadline misses
-//!   and preemptions.
+//!   finished job (aborted jobs get a release→abort slice instead),
+//!   plus instant events (`ph: "i"`) for deadline misses, preemptions,
+//!   and shed releases.
 //!
 //! Timestamps and durations are raw simulation cycles (Perfetto treats
 //! them as microseconds; relative magnitudes are what matters).
@@ -39,7 +41,8 @@ pub const TID_TASK_BASE: u64 = 10;
 pub struct ChromeEvent {
     /// Human-readable slice label.
     pub name: String,
-    /// Event category: `segment`, `fetch`, `job`, `miss`, or `preempt`.
+    /// Event category: `segment`, `fetch`, `job`, `miss`, `preempt`,
+    /// `fault`, `abort`, or `shed`.
     pub cat: String,
     /// Phase: `X` (complete) or `i` (instant).
     pub ph: String,
@@ -149,6 +152,59 @@ pub fn chrome_trace(trace: &Trace, task_names: &[String]) -> ChromeTrace {
                         task_label(task_names, by)
                     ),
                     cat: "preempt".to_owned(),
+                    ph: "i".to_owned(),
+                    ts: e.time.get(),
+                    dur: 0,
+                    pid: 0,
+                    tid: TID_TASK_BASE + task.0 as u64,
+                });
+            }
+            TraceKind::FetchFaulted {
+                task,
+                job,
+                segment,
+                attempt,
+            } => {
+                // Instant on the DMA lane. The simulator re-emits
+                // `FetchStarted` for the retry, so the open-fetch entry
+                // is overwritten and the final `fetch` slice spans the
+                // successful attempt only — faulted spans are visible
+                // as the gap between this marker and that slice.
+                events.push(ChromeEvent {
+                    name: format!(
+                        "fault {} {} {} attempt {}",
+                        task_label(task_names, task),
+                        job,
+                        segment,
+                        attempt
+                    ),
+                    cat: "fault".to_owned(),
+                    ph: "i".to_owned(),
+                    ts: e.time.get(),
+                    dur: 0,
+                    pid: 0,
+                    tid: TID_DMA,
+                });
+            }
+            TraceKind::JobAborted { task, job } => {
+                // The job never completes, so close its open interval
+                // here: the slice spans release → abort.
+                if let Some(release) = open_job.remove(&(task, job)) {
+                    events.push(ChromeEvent {
+                        name: format!("{} {} aborted", task_label(task_names, task), job),
+                        cat: "abort".to_owned(),
+                        ph: "X".to_owned(),
+                        ts: release.get(),
+                        dur: e.time.saturating_sub(release).get(),
+                        pid: 0,
+                        tid: TID_TASK_BASE + task.0 as u64,
+                    });
+                }
+            }
+            TraceKind::ReleaseShed { task, job } => {
+                events.push(ChromeEvent {
+                    name: format!("shed {} {}", task_label(task_names, task), job),
+                    cat: "shed".to_owned(),
                     ph: "i".to_owned(),
                     ts: e.time.get(),
                     dur: 0,
@@ -294,6 +350,96 @@ mod tests {
             .expect("instant");
         assert_eq!(preempt.ph, "i");
         assert_eq!(preempt.dur, 0);
+    }
+
+    #[test]
+    fn fault_abort_and_shed_events_are_exported() {
+        let mut t = Trace::new();
+        let (t0, j0) = (TaskId(0), JobId(0));
+        t.push(
+            cy(0),
+            TraceKind::JobReleased {
+                task: t0,
+                job: j0,
+                deadline: cy(100),
+            },
+        );
+        t.push(
+            cy(0),
+            TraceKind::FetchStarted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+                bytes: 256,
+            },
+        );
+        t.push(
+            cy(20),
+            TraceKind::FetchFaulted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+                attempt: 0,
+            },
+        );
+        t.push(
+            cy(20),
+            TraceKind::FetchStarted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+                bytes: 256,
+            },
+        );
+        t.push(
+            cy(40),
+            TraceKind::FetchCompleted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(cy(110), TraceKind::JobAborted { task: t0, job: j0 });
+        t.push(
+            cy(120),
+            TraceKind::ReleaseShed {
+                task: t0,
+                job: JobId(1),
+            },
+        );
+        let ct = chrome_trace(&t, &["kws".to_owned()]);
+        let fault = ct
+            .traceEvents
+            .iter()
+            .find(|e| e.cat == "fault")
+            .expect("fault instant");
+        assert_eq!(fault.ph, "i");
+        assert_eq!(fault.tid, TID_DMA);
+        assert_eq!(fault.name, "fault kws J0 S0 attempt 0");
+        // The retry re-opened the fetch: the final slice spans the
+        // successful attempt only (20..40).
+        let fetch = ct
+            .traceEvents
+            .iter()
+            .find(|e| e.cat == "fetch")
+            .expect("fetch slice");
+        assert_eq!((fetch.ts, fetch.dur), (20, 20));
+        let abort = ct
+            .traceEvents
+            .iter()
+            .find(|e| e.cat == "abort")
+            .expect("abort slice");
+        assert_eq!(abort.ph, "X");
+        assert_eq!((abort.ts, abort.dur), (0, 110));
+        // No `job` slice for the aborted job.
+        assert!(ct.traceEvents.iter().all(|e| e.cat != "job"));
+        let shed = ct
+            .traceEvents
+            .iter()
+            .find(|e| e.cat == "shed")
+            .expect("shed instant");
+        assert_eq!(shed.ph, "i");
+        assert_eq!(shed.ts, 120);
     }
 
     #[test]

@@ -25,12 +25,13 @@ use std::sync::{Mutex, OnceLock};
 use serde::{Deserialize, Serialize};
 
 /// Number of buckets in a [`Histogram`] (log₂ buckets over the `u64`
-/// range, matching the simulator's response histograms).
-pub const HISTOGRAM_BUCKETS: usize = 32;
+/// range, matching the simulator's response histograms). One bucket per
+/// bit of `u64`: every representable value has its own bucket, so
+/// [`Histogram::percentile_upper`] is an upper bound unconditionally.
+pub const HISTOGRAM_BUCKETS: usize = 64;
 
 /// A fixed-bucket logarithmic histogram: bucket `k` counts values in
-/// `[2^k, 2^(k+1))`, bucket 0 covers `0..2`, the last bucket absorbs
-/// everything above `2^31`.
+/// `[2^k, 2^(k+1))`; bucket 0 covers `0..2`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: [u64; HISTOGRAM_BUCKETS],
@@ -50,9 +51,10 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Index of the bucket `value` falls into.
+    /// Index of the bucket `value` falls into:
+    /// `floor(log2(max(value, 1)))`, always in `0..HISTOGRAM_BUCKETS`.
     fn bucket_of(value: u64) -> usize {
-        (64 - value.max(1).leading_zeros() as usize - 1).min(HISTOGRAM_BUCKETS - 1)
+        64 - value.max(1).leading_zeros() as usize - 1
     }
 
     /// Records one observation.
@@ -102,13 +104,16 @@ impl Histogram {
         if total == 0 {
             return None;
         }
-        let target = u64::try_from((u128::from(total) * u128::from(pct)).div_ceil(100))
-            .expect("percentile rank exceeds u64");
+        // The rank always fits: ceil(total·pct/100) ≤ total ≤ u64::MAX
+        // since pct ≤ 100, so the narrowing is infallible.
+        let target = (u128::from(total) * u128::from(pct)).div_ceil(100) as u64;
         let mut seen = 0;
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(2u64.saturating_pow(k as u32 + 1).saturating_sub(1));
+                // Top of bucket k is 2^(k+1) − 1; the last bucket's top
+                // is u64::MAX exactly.
+                return Some(2u64.checked_pow(k as u32 + 1).map_or(u64::MAX, |p| p - 1));
             }
         }
         None
@@ -391,6 +396,19 @@ mod tests {
         assert_eq!(h.percentile_upper(50), Some(31));
         assert_eq!(h.percentile_upper(100), Some(1023));
         assert_eq!(Histogram::new().percentile_upper(95), None);
+    }
+
+    #[test]
+    fn histogram_resolves_values_beyond_the_old_saturation_boundary() {
+        // Regression: 32 buckets clamped everything ≥ 2^32 into bucket
+        // 31, making percentile_upper report 2^32 − 1 for arbitrarily
+        // large values — below the recorded observation.
+        let mut h = Histogram::new();
+        h.record(1u64 << 32);
+        assert_eq!(h.percentile_upper(100), Some((1u64 << 33) - 1));
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.percentile_upper(100), Some(u64::MAX));
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub fn sync_simulation_accepts(
         exec_scale_min_ppm: 1_000_000,
         seed: 0,
         work_conserving,
+        fault: rtmdm_mcusim::FaultPlan::NONE,
     };
     let run = simulate(ts, platform, &config);
     Some(run.no_misses())

@@ -33,6 +33,7 @@ pub fn scaled_taskset(ts: &TaskSet, scale_ppm: u64) -> TaskSet {
                 })
                 .collect(),
             mode: t.mode,
+            miss_policy: t.miss_policy,
         })
         .collect()
 }

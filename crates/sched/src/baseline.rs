@@ -38,6 +38,7 @@ pub fn fetch_then_compute(task: &SporadicTask, platform: &PlatformConfig) -> Spo
         deadline: task.deadline,
         segments,
         mode: StagingMode::Resident,
+        miss_policy: task.miss_policy,
     }
 }
 
@@ -55,6 +56,7 @@ pub fn whole_job(task: &SporadicTask) -> SporadicTask {
         deadline: task.deadline,
         segments: vec![total],
         mode: task.mode,
+        miss_policy: task.miss_policy,
     }
 }
 

@@ -60,4 +60,4 @@ pub mod gen;
 pub mod sim;
 mod task;
 
-pub use task::{Segment, SporadicTask, StagingMode, TaskError, TaskSet};
+pub use task::{MissPolicy, Segment, SporadicTask, StagingMode, TaskError, TaskSet};

@@ -38,10 +38,11 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use rtmdm_mcusim::{
-    Cycles, EventQueue, JobId, PlatformConfig, SegmentId, TaskId, Trace, TraceKind,
+    Cycles, EventQueue, FaultInjector, FaultPlan, JobId, PlatformConfig, SegmentId, TaskId, Trace,
+    TraceKind,
 };
 
-use crate::task::{StagingMode, TaskSet};
+use crate::task::{MissPolicy, StagingMode, TaskSet};
 
 /// Scheduling policy of the CPU (and the DMA request queue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -77,6 +78,10 @@ pub struct SimConfig {
     /// per job. `true` is the work-conserving rule: any ready segment
     /// may run, trading repeated blocking for higher CPU usage.
     pub work_conserving: bool,
+    /// Fault environment of the run ([`FaultPlan::NONE`] by default).
+    /// When inactive, the simulator consults no fault RNG and the run
+    /// is byte-identical to one without an injector at all.
+    pub fault: FaultPlan,
 }
 
 impl SimConfig {
@@ -88,12 +93,20 @@ impl SimConfig {
             exec_scale_min_ppm: 1_000_000,
             seed: 0,
             work_conserving: false,
+            fault: FaultPlan::NONE,
         }
     }
 
     /// Switches to work-conserving dispatch.
     pub fn work_conserving(mut self) -> Self {
         self.work_conserving = true;
+        self
+    }
+
+    /// Subjects the run to `fault` (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -113,22 +126,45 @@ pub struct TaskStats {
     pub total_response: u64,
     /// Segment-boundary preemptions suffered.
     pub preemptions: u64,
+    /// DMA transfer retries caused by injected faults.
+    pub retries: u64,
+    /// Releases shed by [`MissPolicy::SkipNextRelease`].
+    pub shed: u64,
+    /// Jobs dropped by [`MissPolicy::Abort`].
+    pub aborted: u64,
     /// Log₂-bucketed response-time histogram: bucket `k` counts
     /// responses in `[2^k, 2^(k+1))` cycles (bucket 0 covers 0–1).
     pub response_hist: ResponseHist,
 }
 
-/// A 32-bucket logarithmic response-time histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// Number of buckets in [`ResponseHist`] — one per bit of `u64`, so
+/// every representable response has its own bucket and
+/// [`ResponseHist::percentile_upper`] is an upper bound unconditionally.
+pub const RESPONSE_HIST_BUCKETS: usize = 64;
+
+/// A 64-bucket logarithmic response-time histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResponseHist {
-    buckets: [u64; 32],
+    buckets: [u64; RESPONSE_HIST_BUCKETS],
+}
+
+impl Default for ResponseHist {
+    fn default() -> Self {
+        ResponseHist {
+            buckets: [0; RESPONSE_HIST_BUCKETS],
+        }
+    }
 }
 
 impl ResponseHist {
     /// Records one response time.
     pub fn record(&mut self, response: Cycles) {
+        // k = floor(log2(max(response, 1))) ∈ 0..=63 — one bucket per
+        // bit of u64, so no clamp is needed (or sound: the former
+        // 32-bucket clamp silently broke the percentile upper bound for
+        // responses ≥ 2^32).
         let k = 64 - response.get().max(1).leading_zeros() as usize - 1;
-        self.buckets[k.min(31)] += 1;
+        self.buckets[k] += 1;
     }
 
     /// Number of recorded responses.
@@ -150,14 +186,17 @@ impl ResponseHist {
         }
         // Rank arithmetic in u128: `total * pct` overflows u64 once
         // total exceeds u64::MAX / 100 (long-horizon accumulations).
-        let target = u64::try_from((u128::from(total) * u128::from(pct)).div_ceil(100))
-            .expect("percentile rank exceeds u64");
+        // The rank itself always fits: ceil(total·pct/100) ≤ total ≤
+        // u64::MAX since pct ≤ 100, so the narrowing is infallible.
+        let target = (u128::from(total) * u128::from(pct)).div_ceil(100) as u64;
         let mut seen = 0;
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
+                // Top of bucket k is 2^(k+1) − 1; the last bucket's top
+                // is u64::MAX exactly (2^64 − 1).
                 return Some(Cycles::new(
-                    2u64.saturating_pow(k as u32 + 1).saturating_sub(1),
+                    2u64.checked_pow(k as u32 + 1).map_or(u64::MAX, |p| p - 1),
                 ));
             }
         }
@@ -165,7 +204,7 @@ impl ResponseHist {
     }
 
     /// Raw bucket counts.
-    pub fn buckets(&self) -> &[u64; 32] {
+    pub fn buckets(&self) -> &[u64; RESPONSE_HIST_BUCKETS] {
         &self.buckets
     }
 }
@@ -198,6 +237,18 @@ pub struct SimMetrics {
     /// Segment transitions (and lead-in fetches) that had to wait on
     /// the DMA before compute could proceed.
     pub blocking_fetches: u64,
+    /// DMA transfers corrupted by the fault injector.
+    pub injected_faults: u64,
+    /// Re-issued transfers (equals `injected_faults`: every fault is
+    /// retried, and the retry bound guarantees eventual success).
+    pub fetch_retries: u64,
+    /// Total DMA work cycles spent on re-issued transfers — the
+    /// re-fetch cost the fault environment added to the bus.
+    pub refetch_cycles: Cycles,
+    /// Releases shed by [`MissPolicy::SkipNextRelease`] across tasks.
+    pub shed_jobs: u64,
+    /// Jobs dropped by [`MissPolicy::Abort`] across tasks.
+    pub aborted_jobs: u64,
 }
 
 /// Outcome of a simulation run.
@@ -251,6 +302,10 @@ struct Job {
     staged: usize,
     fetch_requested: usize,
     miss_recorded: bool,
+    /// Under [`MissPolicy::Abort`], set when the deadline passed while
+    /// the job held the CPU: the in-flight segment finishes (segments
+    /// are non-preemptive), then the job is dropped at the boundary.
+    abort_pending: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -258,6 +313,10 @@ struct TaskState {
     jobs: std::collections::VecDeque<Job>,
     next_release: Cycles,
     released: u64,
+    /// Under [`MissPolicy::SkipNextRelease`], set when a job misses its
+    /// deadline: the next release is shed wholesale (overload
+    /// shedding), then the flag clears.
+    skip_next: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -278,6 +337,11 @@ struct CpuExec {
 struct DmaExec {
     task: usize,
     seg: usize,
+    /// Owning job, so fault decisions are keyed to the exact transfer
+    /// and transfers of an aborted job can be cancelled precisely.
+    job: u64,
+    /// 0-based retry attempt of this transfer (0 = first issue).
+    attempt: u32,
     remaining: Cycles,
     deadline: Cycles, // EDF key, kept for preemption comparisons
     /// Sub-cycle contended progress (see [`CpuExec::credit`]), over
@@ -289,6 +353,10 @@ struct DmaExec {
 struct DmaRequest {
     task: usize,
     seg: usize,
+    /// Owning job (see [`DmaExec::job`]).
+    job: u64,
+    /// 0-based retry attempt of this transfer.
+    attempt: u32,
     work: Cycles,
     deadline: Cycles, // EDF key
     /// Progress credit preserved when an in-flight transfer is
@@ -313,6 +381,9 @@ struct Sim<'a> {
     /// Whether a [`TraceKind::CpuIdle`] is open (no `CpuIdleEnd` yet).
     idle_open: bool,
     rng: StdRng,
+    /// Fault decisions for DMA transfers; inactive injectors answer
+    /// every query with a constant zero and touch no RNG.
+    injector: FaultInjector,
 }
 
 /// Runs the simulation of `ts` on `platform` under `config`.
@@ -353,6 +424,7 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
                 jobs: std::collections::VecDeque::new(),
                 next_release: Cycles::ZERO,
                 released: 0,
+                skip_next: false,
             })
             .collect(),
         cpu: None,
@@ -364,6 +436,7 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
         metrics: SimMetrics::default(),
         idle_open: false,
         rng: StdRng::seed_from_u64(config.seed),
+        injector: FaultInjector::new(config.fault),
     };
     for i in 0..ts.len() {
         sim.timed.push(Cycles::ZERO, TimedEvent::Release(i));
@@ -401,6 +474,20 @@ fn flush_global_metrics(result: &SimResult) {
     g.add("sim.preemptions", m.preemptions);
     g.add("sim.prefetch_hits", m.prefetch_hits);
     g.add("sim.blocking_fetches", m.blocking_fetches);
+    // Fault-environment counters are flushed only when nonzero, so a
+    // fault-free run's telemetry snapshot is byte-identical to one from
+    // before fault injection existed.
+    if m.injected_faults > 0 {
+        g.add("sim.injected_faults", m.injected_faults);
+        g.add("sim.fetch_retries", m.fetch_retries);
+        g.add("sim.refetch_cycles", m.refetch_cycles.get());
+    }
+    if m.shed_jobs > 0 {
+        g.add("sim.shed_jobs", m.shed_jobs);
+    }
+    if m.aborted_jobs > 0 {
+        g.add("sim.aborted_jobs", m.aborted_jobs);
+    }
     let mut releases = 0;
     let mut completions = 0;
     let mut misses = 0;
@@ -601,6 +688,28 @@ impl Sim<'_> {
         state.released += 1;
         state.next_release = release + task.period;
 
+        if state.skip_next {
+            // Overload shedding under [`MissPolicy::SkipNextRelease`]:
+            // the previous job missed, so this release is dropped
+            // wholesale. It still counts as a release (the goodput
+            // denominator stays stable) and the period clock still
+            // advances — only the job itself never enters the system.
+            state.skip_next = false;
+            let next_release = state.next_release;
+            self.stats[task_idx].releases += 1;
+            self.stats[task_idx].shed += 1;
+            self.metrics.shed_jobs += 1;
+            self.trace.push(
+                self.now,
+                TraceKind::ReleaseShed {
+                    task: TaskId(task_idx),
+                    job: JobId(id),
+                },
+            );
+            self.timed.push(next_release, TimedEvent::Release(task_idx));
+            return;
+        }
+
         let scale = if self.config.exec_scale_min_ppm >= PPM {
             PPM
         } else {
@@ -628,6 +737,7 @@ impl Sim<'_> {
             staged,
             fetch_requested: staged,
             miss_recorded: false,
+            abort_pending: false,
         });
         self.stats[task_idx].releases += 1;
         self.trace.push(
@@ -672,42 +782,146 @@ impl Sim<'_> {
     }
 
     fn deadline_check(&mut self, task_idx: usize, job_id: u64) {
-        let Some(job) = self.tasks[task_idx]
+        let Some(pos) = self.tasks[task_idx]
             .jobs
-            .iter_mut()
-            .find(|j| j.id == job_id)
+            .iter()
+            .position(|j| j.id == job_id)
         else {
             return; // already completed
         };
-        if !job.miss_recorded {
-            job.miss_recorded = true;
-            self.stats[task_idx].misses += 1;
-            self.trace.push(
-                self.now,
-                TraceKind::DeadlineMissed {
-                    task: TaskId(task_idx),
-                    job: JobId(job_id),
-                },
-            );
+        let job = &mut self.tasks[task_idx].jobs[pos];
+        if job.miss_recorded {
+            return;
+        }
+        job.miss_recorded = true;
+        self.stats[task_idx].misses += 1;
+        self.trace.push(
+            self.now,
+            TraceKind::DeadlineMissed {
+                task: TaskId(task_idx),
+                job: JobId(job_id),
+            },
+        );
+        match self.ts.tasks()[task_idx].miss_policy {
+            MissPolicy::Continue => {}
+            MissPolicy::SkipNextRelease => {
+                self.tasks[task_idx].skip_next = true;
+            }
+            MissPolicy::Abort => {
+                // Segments are non-preemptive: a job holding the CPU is
+                // dropped at its next segment boundary; anything else
+                // (waiting, fetching, queued behind) is dropped now.
+                if pos == 0 && self.cpu.is_some_and(|c| c.task == task_idx) {
+                    self.tasks[task_idx].jobs[pos].abort_pending = true;
+                } else {
+                    self.drop_job(task_idx, pos);
+                }
+            }
+        }
+    }
+
+    /// Removes job `pos` of `task_idx` from the system: cancels its
+    /// queued and in-flight DMA transfers, records the abort, and — when
+    /// the head job changed — restarts staging for the new head.
+    fn drop_job(&mut self, task_idx: usize, pos: usize) {
+        let job = self.tasks[task_idx].jobs.remove(pos).expect("job to drop");
+        self.stats[task_idx].aborted += 1;
+        self.metrics.aborted_jobs += 1;
+        self.trace.push(
+            self.now,
+            TraceKind::JobAborted {
+                task: TaskId(task_idx),
+                job: JobId(job.id),
+            },
+        );
+        // Only a head job ever has staging traffic; the job id on each
+        // request pins the cancellation to exactly this job's transfers.
+        self.dma_queue
+            .retain(|r| !(r.task == task_idx && r.job == job.id));
+        if self
+            .dma
+            .is_some_and(|d| d.task == task_idx && d.job == job.id)
+        {
+            self.dma = None;
+        }
+        if pos == 0 {
+            // A new head surfaced (or the queue emptied).
+            self.maybe_request_fetch(task_idx);
+            self.note_leadin_block(task_idx);
         }
     }
 
     fn complete_dma(&mut self) {
         let d = self.dma.take().expect("dma completion without transfer");
-        if let Some(job) = self.tasks[d.task].jobs.front_mut() {
-            // Per-task fetches complete in segment order (the queue pops
-            // the lowest segment of a task first).
-            if job.staged == d.seg {
-                job.staged = d.seg + 1;
-            }
+        let head_id = self.tasks[d.task].jobs.front().map(|j| j.id);
+        if head_id == Some(d.job)
+            && self
+                .injector
+                .transfer_faults(d.task, d.job, d.seg, d.attempt)
+        {
+            // The transfer delivered corrupt data: re-issue it in full.
+            // The retry re-targets the same buffer half — it *replaces*
+            // fetch `d.seg` in the two-ahead window instead of advancing
+            // it (`fetch_requested` stays put, `staged` is not bumped),
+            // and `dma_key` sorts it before this task's fetch `d.seg+1`,
+            // so per-task in-order completion and the double-buffer
+            // discipline survive faults unchanged.
+            let attempt = d.attempt + 1;
+            let bytes = self.ts.tasks()[d.task].segments[d.seg].fetch_bytes;
+            let base = self.platform.ext_mem.transfer_cycles(bytes);
+            let work = base + self.injector.transfer_jitter(d.task, d.job, d.seg, attempt);
+            self.stats[d.task].retries += 1;
+            self.metrics.injected_faults += 1;
+            self.metrics.fetch_retries += 1;
+            self.metrics.refetch_cycles += work;
             self.trace.push(
                 self.now,
-                TraceKind::FetchCompleted {
+                TraceKind::FetchFaulted {
                     task: TaskId(d.task),
-                    job: JobId(job.id),
+                    job: JobId(d.job),
                     segment: SegmentId(d.seg),
+                    attempt: d.attempt,
                 },
             );
+            self.trace.push(
+                self.now,
+                TraceKind::FetchStarted {
+                    task: TaskId(d.task),
+                    job: JobId(d.job),
+                    segment: SegmentId(d.seg),
+                    bytes,
+                },
+            );
+            self.dma_queue.push(DmaRequest {
+                task: d.task,
+                seg: d.seg,
+                job: d.job,
+                attempt,
+                work,
+                deadline: d.deadline,
+                credit: 0,
+            });
+            return;
+        }
+        if let Some(job) = self.tasks[d.task].jobs.front_mut() {
+            // Per-task fetches complete in segment order (the queue pops
+            // the lowest segment of a task first). The job guard only
+            // matters under `Abort`: a transfer finishing in the same
+            // instant its owner was dropped must not stage for the
+            // successor job.
+            if job.id == d.job {
+                if job.staged == d.seg {
+                    job.staged = d.seg + 1;
+                }
+                self.trace.push(
+                    self.now,
+                    TraceKind::FetchCompleted {
+                        task: TaskId(d.task),
+                        job: JobId(job.id),
+                        segment: SegmentId(d.seg),
+                    },
+                );
+            }
         }
         // The next fetch of this task may be admissible now.
         self.maybe_request_fetch(d.task);
@@ -716,23 +930,27 @@ impl Sim<'_> {
     fn complete_cpu_segment(&mut self) {
         let c = self.cpu.take().expect("cpu completion without segment");
         let task_idx = c.task;
-        let (job_id, job_done, response) = {
+        let (job_id, job_done, abort, response) = {
             let job = self.tasks[task_idx]
                 .jobs
                 .front_mut()
                 .expect("running task has a head job");
             job.next_seg = c.seg + 1;
             let done = job.next_seg == job.seg_compute.len();
+            // A deferred abort lands here, at the segment boundary. If
+            // the finished segment was the last one, the job is simply
+            // complete (late) — there is no remaining work to drop.
+            let abort = job.abort_pending && !done;
             // Double-buffer effectiveness: was the next segment's fetch
             // already hidden behind the compute that just retired?
-            if !done && self.ts.tasks()[task_idx].mode == StagingMode::Overlapped {
+            if !done && !abort && self.ts.tasks()[task_idx].mode == StagingMode::Overlapped {
                 if job.staged > job.next_seg {
                     self.metrics.prefetch_hits += 1;
                 } else {
                     self.metrics.blocking_fetches += 1;
                 }
             }
-            (job.id, done, self.now.saturating_sub(job.release))
+            (job.id, done, abort, self.now.saturating_sub(job.release))
         };
         self.trace.push(
             self.now,
@@ -767,6 +985,9 @@ impl Sim<'_> {
                     response,
                 },
             );
+        } else if abort {
+            self.drop_job(task_idx, 0);
+            return; // drop_job restarted staging for the new head
         }
         // The compute window advanced (or a new head job surfaced):
         // another prefetch may be admissible.
@@ -791,6 +1012,9 @@ impl Sim<'_> {
         let Some(job) = self.tasks[task_idx].jobs.front() else {
             return;
         };
+        if job.abort_pending {
+            return; // doomed job: no fresh staging traffic
+        }
         let n = task.segments.len();
         let next_fetch = job.fetch_requested;
         if next_fetch >= n {
@@ -815,21 +1039,28 @@ impl Sim<'_> {
             return;
         }
         let bytes = task.segments[next_fetch].fetch_bytes;
-        let work = self.platform.ext_mem.transfer_cycles(bytes);
+        let base = self.platform.ext_mem.transfer_cycles(bytes);
         let deadline = job.abs_deadline;
         let job_id = job.id;
-        if work.is_zero() {
-            // Nothing to stage: mark immediately.
+        if base.is_zero() {
+            // Nothing to stage: mark immediately. Zero-byte segments
+            // never touch the DMA, so neither faults nor jitter apply.
             let job = self.tasks[task_idx].jobs.front_mut().expect("head job");
             job.fetch_requested = next_fetch + 1;
             job.staged = job.staged.max(next_fetch + 1);
             return;
         }
+        let work = base
+            + self
+                .injector
+                .transfer_jitter(task_idx, job_id, next_fetch, 0);
         let job_mut = self.tasks[task_idx].jobs.front_mut().expect("head job");
         job_mut.fetch_requested = next_fetch + 1;
         self.dma_queue.push(DmaRequest {
             task: task_idx,
             seg: next_fetch,
+            job: job_id,
+            attempt: 0,
             work,
             deadline,
             credit: 0,
@@ -882,6 +1113,8 @@ impl Sim<'_> {
                 self.dma_queue.push(DmaRequest {
                     task: current.task,
                     seg: current.seg,
+                    job: current.job,
+                    attempt: current.attempt,
                     work: current.remaining,
                     deadline: current.deadline,
                     credit: current.credit,
@@ -891,6 +1124,8 @@ impl Sim<'_> {
             self.dma = Some(DmaExec {
                 task: req.task,
                 seg: req.seg,
+                job: req.job,
+                attempt: req.attempt,
                 remaining: req.work,
                 deadline: req.deadline,
                 credit: req.credit,
@@ -1010,7 +1245,7 @@ impl Sim<'_> {
 mod tests {
     use super::*;
     use crate::task::{Segment, SporadicTask};
-    use rtmdm_mcusim::ContentionModel;
+    use rtmdm_mcusim::{ContentionModel, DEFAULT_MAX_RETRIES};
 
     fn cy(n: u64) -> Cycles {
         Cycles::new(n)
@@ -1204,6 +1439,7 @@ mod tests {
             exec_scale_min_ppm: 600_000,
             seed: 42,
             work_conserving: false,
+            fault: FaultPlan::NONE,
         };
         let p = bare_platform();
         let r1 = simulate(&ts, &p, &cfg);
@@ -1222,6 +1458,7 @@ mod tests {
             exec_scale_min_ppm: 500_000,
             seed,
             work_conserving: false,
+            fault: FaultPlan::NONE,
         };
         let r1 = simulate(&ts, &p, &mk(1));
         let r2 = simulate(&ts, &p, &mk(2));
@@ -1249,6 +1486,7 @@ mod tests {
                     exec_scale_min_ppm: 400_000,
                     seed,
                     work_conserving: false,
+                    fault: FaultPlan::NONE,
                 },
             );
             for i in 0..ts.len() {
@@ -1521,5 +1759,205 @@ mod tests {
         // overlap hi's compute? No — single CPU: lo's fetch overlaps
         // hi's compute. lo computes at t=1000..1100.
         assert_eq!(r.stats[1].max_response, cy(1100));
+    }
+
+    #[test]
+    fn histogram_resolves_responses_beyond_the_old_saturation_boundary() {
+        // Regression: buckets used to clamp at index 31, so any
+        // response ≥ 2^32 was folded into bucket 31 and
+        // `percentile_upper` returned 2^32 − 1 — *below* the recorded
+        // response, violating its upper-bound contract.
+        let mut hist = ResponseHist::default();
+        hist.record(cy(1u64 << 32));
+        let p100 = hist.percentile_upper(100).expect("non-empty");
+        assert!(p100 >= cy(1u64 << 32), "upper bound violated: {p100}");
+        assert_eq!(p100, cy((1u64 << 33) - 1));
+        // The very top bucket's upper bound is exactly u64::MAX.
+        let mut top = ResponseHist::default();
+        top.record(Cycles::new(u64::MAX));
+        assert_eq!(top.percentile_upper(100), Some(Cycles::new(u64::MAX)));
+    }
+
+    fn fault_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            dma_fault_rate_ppm: 300_000,
+            max_retries: 3,
+            jitter_max_cycles: 25,
+        }
+    }
+
+    fn fault_taskset() -> TaskSet {
+        TaskSet::from_tasks(vec![
+            overlapped("a", 500, &[(40, 64), (60, 32)]),
+            overlapped("b", 700, &[(100, 128), (80, 64)]),
+        ])
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_byte_identical_to_no_plan() {
+        let ts = fault_taskset();
+        let p = bare_platform();
+        let plain = SimConfig::new(cy(50_000), Policy::FixedPriority);
+        // A zero-rate, zero-jitter plan with a nonzero seed is inactive:
+        // the injector must be provably free on the disabled path.
+        let zeroed = plain.clone().with_fault(FaultPlan {
+            seed: 12345,
+            dma_fault_rate_ppm: 0,
+            max_retries: 7,
+            jitter_max_cycles: 0,
+        });
+        let r1 = simulate(&ts, &p, &plain);
+        let r2 = simulate(&ts, &p, &zeroed);
+        assert_eq!(r1.trace.events(), r2.trace.events());
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(r1.metrics, r2.metrics);
+        assert_eq!(r2.metrics.injected_faults, 0);
+        assert_eq!(r2.metrics.refetch_cycles, Cycles::ZERO);
+    }
+
+    #[test]
+    fn fault_injected_runs_are_deterministic() {
+        let ts = fault_taskset();
+        let p = bare_platform();
+        let cfg = SimConfig::new(cy(50_000), Policy::FixedPriority).with_fault(fault_plan(9));
+        let r1 = simulate(&ts, &p, &cfg);
+        let r2 = simulate(&ts, &p, &cfg);
+        assert!(r1.metrics.injected_faults > 0, "fault rate should bite");
+        assert_eq!(r1.trace.events(), r2.trace.events());
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(r1.metrics, r2.metrics);
+    }
+
+    #[test]
+    fn fault_injected_run_still_partitions_the_horizon() {
+        // The conservation invariant (busy + idle == horizon) must
+        // survive retries: a re-issued transfer adds DMA work but must
+        // not double-count stall cycles or break the partition.
+        let ts = fault_taskset();
+        let mut p = bare_platform();
+        p.contention = ContentionModel {
+            cpu_inflation_ppm: 300_000,
+            dma_inflation_ppm: 200_000,
+        };
+        let cfg = SimConfig::new(cy(50_000), Policy::FixedPriority).with_fault(fault_plan(4));
+        let r = simulate(&ts, &p, &cfg);
+        let m = r.metrics;
+        assert!(m.injected_faults > 0);
+        assert_eq!(m.fetch_retries, m.injected_faults);
+        assert_eq!(m.cpu_busy_cycles + m.cpu_idle_cycles, r.horizon);
+        assert!(m.dma_busy_cycles <= r.horizon);
+        assert!(m.refetch_cycles > Cycles::ZERO);
+        let stat_retries: u64 = r.stats.iter().map(|s| s.retries).sum();
+        assert_eq!(stat_retries, m.fetch_retries);
+        assert_eq!(
+            r.trace.injected_faults() as u64,
+            m.injected_faults,
+            "every injected fault is visible in the trace"
+        );
+    }
+
+    #[test]
+    fn faulted_transfers_delay_but_do_not_break_staging() {
+        // 100% fault rate with the default retry bound: every transfer
+        // is re-fetched max_retries times, then succeeds. Jobs still
+        // complete, responses only grow.
+        let ts = TaskSet::from_tasks(vec![overlapped("a", 10_000, &[(100, 50), (100, 50)])]);
+        let p = bare_platform();
+        let clean = simulate(&ts, &p, &SimConfig::new(cy(10_000), Policy::FixedPriority));
+        let faulty = simulate(
+            &ts,
+            &p,
+            &SimConfig::new(cy(10_000), Policy::FixedPriority)
+                .with_fault(FaultPlan::with_rate(1, 1_000_000)),
+        );
+        assert_eq!(faulty.stats[0].completions, clean.stats[0].completions);
+        assert!(faulty.stats[0].max_response > clean.stats[0].max_response);
+        // Each of the 2 transfers per job pays exactly max_retries
+        // re-fetches at rate 100%.
+        assert_eq!(
+            faulty.metrics.fetch_retries,
+            2 * u64::from(DEFAULT_MAX_RETRIES) * faulty.stats[0].completions
+        );
+    }
+
+    #[test]
+    fn abort_policy_drops_missed_jobs_at_segment_boundaries() {
+        // Three 80-cycle non-preemptive segments against a 100-cycle
+        // deadline: every job misses mid-segment, gets abort_pending,
+        // and is dropped at the next boundary — no job ever completes.
+        let t = SporadicTask::new(
+            "a",
+            cy(100),
+            cy(100),
+            (0..3).map(|_| Segment::new(cy(80), 0)).collect(),
+            StagingMode::Resident,
+        )
+        .expect("valid")
+        .with_miss_policy(MissPolicy::Abort);
+        let r = run(&TaskSet::from_tasks(vec![t]), 2000);
+        assert!(r.stats[0].misses > 0);
+        assert!(r.stats[0].aborted > 0);
+        assert_eq!(r.stats[0].completions, 0);
+        assert_eq!(r.metrics.aborted_jobs, r.stats[0].aborted);
+        assert_eq!(r.trace.shed_or_aborted() as u64, r.stats[0].aborted);
+    }
+
+    #[test]
+    fn abort_cancels_pending_dma_of_the_dropped_job() {
+        // The lead-in fetch (500) alone blows the 300-cycle deadline:
+        // the job is dropped while *fetching* (not on the CPU), so its
+        // in-flight transfer must be cancelled immediately.
+        let t = SporadicTask::new(
+            "a",
+            cy(1000),
+            cy(300),
+            vec![Segment::new(cy(100), 500)],
+            StagingMode::Overlapped,
+        )
+        .expect("valid")
+        .with_miss_policy(MissPolicy::Abort);
+        let r = run(&TaskSet::from_tasks(vec![t]), 5000);
+        assert!(r.stats[0].aborted > 0);
+        assert_eq!(r.stats[0].completions, 0);
+        // Each job streams at most 300 cycles (release → deadline) of
+        // its 500-cycle fetch before cancellation.
+        assert!(r.metrics.dma_busy_cycles <= cy(300 * r.stats[0].releases));
+    }
+
+    #[test]
+    fn skip_next_release_sheds_after_a_miss() {
+        // 150 cycles of work per 100-cycle period: every completing job
+        // misses, so every other release is shed. Shed releases still
+        // count as releases (stable goodput denominator).
+        let t = SporadicTask::new(
+            "a",
+            cy(100),
+            cy(100),
+            vec![Segment::new(cy(150), 0)],
+            StagingMode::Resident,
+        )
+        .expect("valid")
+        .with_miss_policy(MissPolicy::SkipNextRelease);
+        let r = run(&TaskSet::from_tasks(vec![t]), 3000);
+        assert!(r.stats[0].shed > 0);
+        assert!(r.stats[0].completions > 0);
+        assert!(r.stats[0].releases >= r.stats[0].shed + r.stats[0].completions);
+        assert_eq!(r.metrics.shed_jobs, r.stats[0].shed);
+        assert_eq!(r.trace.shed_or_aborted() as u64, r.stats[0].shed);
+        // Shedding relieved the overload: the backlog stays bounded, so
+        // fewer misses than under Continue.
+        let cont = run(
+            &TaskSet::from_tasks(vec![SporadicTask::new(
+                "a",
+                cy(100),
+                cy(100),
+                vec![Segment::new(cy(150), 0)],
+                StagingMode::Resident,
+            )
+            .expect("valid")]),
+            3000,
+        );
+        assert!(r.stats[0].misses <= cont.stats[0].misses);
     }
 }

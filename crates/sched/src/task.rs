@@ -23,6 +23,37 @@ pub enum StagingMode {
     Resident,
 }
 
+/// What the simulator does with a job that misses its deadline.
+///
+/// `Abort` and `SkipNextRelease` together constitute *overload
+/// shedding*: instead of letting a late job push every successor later
+/// (the `Continue` default), the runtime drops work — either the late
+/// job itself, or the demand that would pile up behind it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MissPolicy {
+    /// Let the late job run to completion; successors queue behind it.
+    #[default]
+    Continue,
+    /// Drop the late job at the next segment boundary (an in-flight
+    /// non-preemptive segment finishes first) and cancel its pending
+    /// DMA transfers.
+    Abort,
+    /// Let the late job finish, but shed the task's next release so the
+    /// backlog drains instead of compounding.
+    SkipNextRelease,
+}
+
+impl std::fmt::Display for MissPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MissPolicy::Continue => write!(f, "continue"),
+            MissPolicy::Abort => write!(f, "abort"),
+            MissPolicy::SkipNextRelease => write!(f, "skip-next"),
+        }
+    }
+}
+
 /// One non-preemptive execution unit: a group of consecutive layers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Segment {
@@ -57,6 +88,9 @@ pub struct SporadicTask {
     pub segments: Vec<Segment>,
     /// Staging mode.
     pub mode: StagingMode,
+    /// What the simulator does when a job of this task misses its
+    /// deadline ([`MissPolicy::Continue`] by default).
+    pub miss_policy: MissPolicy,
 }
 
 /// A task's parameters are inconsistent.
@@ -127,7 +161,15 @@ impl SporadicTask {
             deadline,
             segments,
             mode,
+            miss_policy: MissPolicy::Continue,
         })
+    }
+
+    /// Sets the deadline-miss policy (builder style).
+    #[must_use]
+    pub fn with_miss_policy(mut self, policy: MissPolicy) -> Self {
+        self.miss_policy = policy;
+        self
     }
 
     /// Number of segments.

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use rtmdm_mcusim::{Cycles, PlatformConfig};
+use rtmdm_mcusim::{Cycles, FaultPlan, PlatformConfig};
 use rtmdm_sched::gen::{generate, TasksetParams};
 use rtmdm_sched::sim::{simulate, Policy, SimConfig};
 use rtmdm_sched::StagingMode;
@@ -19,6 +19,7 @@ fn config(horizon: Cycles, policy: Policy, wc: bool, scale: u64, seed: u64) -> S
         exec_scale_min_ppm: scale,
         seed,
         work_conserving: wc,
+        fault: FaultPlan::NONE,
     }
 }
 
@@ -151,5 +152,81 @@ proptest! {
             gated.max_response_of(0),
             bound
         );
+    }
+
+    /// The fault injector's disabled path is provably free: a zero-rate,
+    /// zero-jitter plan (any seed, any retry bound) yields a run
+    /// byte-identical to one with no plan at all — trace, per-task
+    /// stats, and aggregate metrics alike.
+    #[test]
+    fn inactive_fault_plan_is_byte_identical_to_no_plan(
+        seed in 0u64..100_000,
+        n_tasks in 1usize..5,
+        util_pct in 5u64..80,
+        wc in proptest::bool::ANY,
+        scale in 300_000u64..=1_000_000,
+        fault_seed in 0u64..u64::MAX,
+        retries in 0u32..10,
+    ) {
+        let params = TasksetParams::baseline(n_tasks, util_pct * 10_000);
+        let ts = generate(&params, &platform(), seed);
+        let horizon = ts.tasks().iter().map(|t| t.period).max().unwrap() * 2;
+        let plain = config(horizon, Policy::FixedPriority, wc, scale, seed);
+        let mut zeroed = plain.clone();
+        zeroed.fault = FaultPlan {
+            seed: fault_seed,
+            dma_fault_rate_ppm: 0,
+            max_retries: retries,
+            jitter_max_cycles: 0,
+        };
+        let a = simulate(&ts, &platform(), &plain);
+        let b = simulate(&ts, &platform(), &zeroed);
+        prop_assert_eq!(a.trace.events(), b.trace.events());
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.metrics, b.metrics);
+    }
+
+    /// Under any fault environment: runs stay deterministic, the
+    /// horizon partition (busy + idle == horizon) holds, retry counts
+    /// agree between the trace, per-task stats, and aggregate metrics,
+    /// and the staging discipline still delivers completed jobs.
+    #[test]
+    fn fault_environment_preserves_core_invariants(
+        seed in 0u64..100_000,
+        n_tasks in 1usize..5,
+        util_pct in 5u64..60,
+        rate_ppm in 1u64..=1_000_000,
+        jitter in 0u64..200,
+    ) {
+        let params = TasksetParams::baseline(n_tasks, util_pct * 10_000);
+        let ts = generate(&params, &platform(), seed);
+        let horizon = ts.tasks().iter().map(|t| t.period).max().unwrap() * 2;
+        let mut cfg = config(horizon, Policy::FixedPriority, false, 1_000_000, seed);
+        cfg.fault = FaultPlan {
+            seed,
+            dma_fault_rate_ppm: rate_ppm,
+            max_retries: 3,
+            jitter_max_cycles: jitter,
+        };
+        let a = simulate(&ts, &platform(), &cfg);
+        let b = simulate(&ts, &platform(), &cfg);
+        prop_assert_eq!(a.trace.events(), b.trace.events());
+        prop_assert_eq!(&a.stats, &b.stats);
+        let m = a.metrics;
+        prop_assert_eq!(m.cpu_busy_cycles + m.cpu_idle_cycles, horizon);
+        prop_assert_eq!(m.fetch_retries, m.injected_faults);
+        prop_assert_eq!(a.trace.injected_faults() as u64, m.injected_faults);
+        let stat_retries: u64 = a.stats.iter().map(|s| s.retries).sum();
+        prop_assert_eq!(stat_retries, m.fetch_retries);
+        // Faults delay but never wedge: released work still completes
+        // (the last release may legitimately still be in flight).
+        for (i, s) in a.stats.iter().enumerate() {
+            prop_assert!(
+                s.completions + 1 >= s.releases.min(1),
+                "task {i} starved: {} completions of {} releases",
+                s.completions,
+                s.releases
+            );
+        }
     }
 }

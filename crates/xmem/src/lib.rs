@@ -41,6 +41,7 @@ mod arena;
 mod error;
 pub mod pipeline;
 mod plan;
+pub mod retry;
 pub mod spill;
 
 pub use arena::{AllocHandle, SramArena};
@@ -50,3 +51,4 @@ pub use plan::{
     segment_model, segment_model_capped, segment_model_tiled, ModelSegmentation, SegmentPlan,
     SramLayout,
 };
+pub use retry::{job_retry_budget, segments_retry_budget, RetryPolicy};

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 
-use rt_mdm::mcusim::{Cycles, PlatformConfig, TraceKind};
+use rt_mdm::mcusim::{Cycles, FaultPlan, PlatformConfig, TraceKind};
 use rt_mdm::obs::{chrome_trace, chrome_trace_json, ChromeTrace, Timeline};
 use rt_mdm::sched::gen::{generate, TasksetParams};
 use rt_mdm::sched::sim::{simulate, Policy, SimConfig, SimResult};
@@ -48,6 +48,7 @@ fn golden_scenario() -> (SimResult, Vec<String>) {
         exec_scale_min_ppm: 1_000_000,
         seed: 0,
         work_conserving: false,
+        fault: FaultPlan::NONE,
     };
     let result = simulate(&ts, &PlatformConfig::stm32f746_qspi(), &config);
     (result, vec!["ctrl".to_owned(), "dnn".to_owned()])
@@ -159,6 +160,7 @@ proptest! {
             exec_scale_min_ppm: scale_min,
             seed,
             work_conserving: false,
+            fault: FaultPlan::NONE,
         };
         let result = simulate(&ts, &p, &config);
         check_invariants(&result)?;
@@ -184,6 +186,7 @@ proptest! {
             exec_scale_min_ppm: 1_000_000,
             seed,
             work_conserving: false,
+            fault: FaultPlan::NONE,
         };
         let result = simulate(&ts, &p, &config);
         check_invariants(&result)?;
@@ -209,6 +212,7 @@ proptest! {
             exec_scale_min_ppm: 1_000_000,
             seed,
             work_conserving: false,
+            fault: FaultPlan::NONE,
         };
         let result = simulate(&ts, &p, &config);
         let names: Vec<String> = ts.tasks().iter().map(|t| t.name.clone()).collect();

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 
-use rt_mdm::mcusim::{Cycles, PlatformConfig};
+use rt_mdm::mcusim::{Cycles, FaultPlan, PlatformConfig};
 use rt_mdm::sched::analysis::{rta_limited_preemption_with, SchedulerMode};
 use rt_mdm::sched::assign::dm_order;
 use rt_mdm::sched::gen::{generate, TasksetParams};
@@ -48,6 +48,7 @@ fn check_soundness(
         exec_scale_min_ppm,
         seed,
         work_conserving: mode == SchedulerMode::WorkConserving,
+        fault: FaultPlan::NONE,
     };
     let run = simulate(&ordered, &p, &config);
     prop_assert_eq!(
@@ -166,6 +167,7 @@ fn directed_soundness_sweep() {
                 exec_scale_min_ppm: 1_000_000,
                 seed,
                 work_conserving: mode == SchedulerMode::WorkConserving,
+                fault: FaultPlan::NONE,
             };
             let run = simulate(&ordered, &p, &config);
             assert_eq!(run.total_misses(), 0, "seed {seed} mode {mode:?}");

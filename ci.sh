@@ -53,6 +53,23 @@ cmp "$plain_out" "$zero_out" || {
   echo "fault smoke: zero-rate run differs from no-plan run" >&2; exit 1; }
 rm -f "$fault_out" "$fault_out2" "$plain_out" "$zero_out"
 
+echo "== engine equivalence smoke =="
+# A pinned scenario — faults, jitter and all — simulated under both
+# time-advancement engines must export byte-identical Chrome traces.
+# rtmdm-bench's F12 grid covers the full scenario matrix; this is the
+# cheap always-on gate for the DES-versus-legacy contract.
+eng_legacy="$(mktemp)"
+eng_des="$(mktemp)"
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --fault-rate 100000 --fault-seed 7 --fault-jitter 25 \
+  --engine legacy --out "$eng_legacy" --format chrome
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --fault-rate 100000 --fault-seed 7 --fault-jitter 25 \
+  --engine des --out "$eng_des" --format chrome
+cmp "$eng_legacy" "$eng_des" || {
+  echo "engine smoke: legacy and des traces diverge" >&2; exit 1; }
+rm -f "$eng_legacy" "$eng_des"
+
 echo "== rtmdm check sweep =="
 # Every zoo model on every platform preset must verify to parseable
 # JSON and a 0/2 exit; the JSON is re-parsed by the CLI itself (it

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use rtmdm_mcusim::{Cycles, FaultPlan, PlatformConfig};
 use rtmdm_sched::gen::{generate, TasksetParams};
-use rtmdm_sched::sim::{simulate, Policy, SimConfig};
+use rtmdm_sched::sim::{simulate, Engine, Policy, SimConfig};
 
 fn bench_simulator(c: &mut Criterion) {
     let p = PlatformConfig::stm32f746_qspi();
@@ -15,6 +15,15 @@ fn bench_simulator(c: &mut Criterion) {
     g.throughput(Throughput::Elements(horizon.get()));
     g.bench_function("gated_4tasks_1s", |b| {
         b.iter(|| simulate(&ts, &p, &SimConfig::new(horizon, Policy::FixedPriority)))
+    });
+    g.bench_function("gated_4tasks_1s_legacy", |b| {
+        b.iter(|| {
+            simulate(
+                &ts,
+                &p,
+                &SimConfig::new(horizon, Policy::FixedPriority).with_engine(Engine::Legacy),
+            )
+        })
     });
     g.bench_function("work_conserving_4tasks_1s", |b| {
         b.iter(|| {
@@ -41,6 +50,7 @@ fn bench_jittered(c: &mut Criterion) {
         seed: 11,
         work_conserving: false,
         fault: FaultPlan::NONE,
+        engine: Engine::Des,
     };
     c.bench_function("simulator/jittered_4tasks_1s", |b| {
         b.iter(|| simulate(&ts, &p, &config))

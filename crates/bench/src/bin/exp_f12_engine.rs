@@ -1,0 +1,4 @@
+//! Regenerates experiment `f12_engine` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f12_engine", &rtmdm_bench::experiments::f12_engine());
+}

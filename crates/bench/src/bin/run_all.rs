@@ -14,7 +14,7 @@ use rtmdm_bench::{emit, experiments as e, par, results_dir, telemetry};
 type Experiment = (&'static str, fn() -> String);
 
 fn main() {
-    let experiments: [Experiment; 14] = [
+    let experiments: [Experiment; 15] = [
         ("t1_models", e::t1_models),
         ("t2_platforms", e::t2_platforms),
         ("t3_wcrt", e::t3_wcrt),
@@ -29,6 +29,7 @@ fn main() {
         ("f9_energy", e::f9_energy),
         ("f10_platforms", e::f10_platforms),
         ("f11_robustness", e::f11_robustness),
+        ("f12_engine", e::f12_engine),
     ];
     let registry = rtmdm_obs::metrics::global();
     registry.enable(true);
@@ -51,7 +52,19 @@ fn main() {
         records.push(rec);
         before = after;
     }
-    let doc = telemetry::RunMetrics::new(par::num_threads(), records, registry.snapshot());
+    // Registry snapshot first, so the throughput probe's own runs do
+    // not leak into the experiment aggregate.
+    let final_snapshot = registry.snapshot();
+    let engine = e::engine_comparison();
+    println!(
+        "-- engine probe: des {:.2e} cyc/s vs legacy {:.2e} cyc/s \
+         ({:.2}x, equivalent: {})",
+        engine.des_cycles_per_second,
+        engine.legacy_cycles_per_second,
+        engine.speedup,
+        engine.equivalent
+    );
+    let doc = telemetry::RunMetrics::new(par::num_threads(), records, final_snapshot, engine);
     let json = serde_json::to_string(&doc).expect("metrics serialize");
     let metrics_path = results_dir().join("metrics.json");
     if let Err(err) = std::fs::write(&metrics_path, &json) {

@@ -1,0 +1,323 @@
+//! Figure F12 — discrete-event engine versus the legacy advance loop.
+//!
+//! The table is the *equivalence gate*: a grid of directed scenarios —
+//! platforms, dispatchers, policies, execution jitter, injected DMA
+//! faults, all three deadline-miss policies — each simulated under both
+//! time-advancement engines, with the trace, per-task stats, and global
+//! metrics compared for exact equality. Every row must say `yes`; the
+//! table is deterministic and lands in `results/f12_engine.txt`.
+//!
+//! Throughput is measured separately by [`engine_comparison`]: wall
+//! times are nondeterministic, so they go to `BENCH_run_all.json` (via
+//! the telemetry layer), never into the byte-pinned results table.
+
+use std::time::Instant;
+
+use rtmdm_core::report;
+use rtmdm_mcusim::{Cycles, FaultPlan, PlatformConfig, DEFAULT_MAX_RETRIES};
+use rtmdm_sched::gen::{generate, TasksetParams};
+use rtmdm_sched::sim::{simulate, Engine, Policy, SimConfig, SimResult};
+use rtmdm_sched::{MissPolicy, Segment, SporadicTask, StagingMode, TaskSet};
+
+use crate::telemetry::EngineComparison;
+
+/// One directed scenario of the equivalence grid.
+struct Scenario {
+    label: &'static str,
+    platform: PlatformConfig,
+    policy: Policy,
+    work_conserving: bool,
+    exec_scale_min_ppm: u64,
+    fault_rate_ppm: u64,
+    miss_policy: MissPolicy,
+    util_ppm: u64,
+    seed: u64,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "f746/fp/gated/wcet",
+            platform: PlatformConfig::stm32f746_qspi(),
+            policy: Policy::FixedPriority,
+            work_conserving: false,
+            exec_scale_min_ppm: 1_000_000,
+            fault_rate_ppm: 0,
+            miss_policy: MissPolicy::Continue,
+            util_ppm: 350_000,
+            seed: 7,
+        },
+        Scenario {
+            label: "f746/fp/wc/jitter",
+            platform: PlatformConfig::stm32f746_qspi(),
+            policy: Policy::FixedPriority,
+            work_conserving: true,
+            exec_scale_min_ppm: 400_000,
+            fault_rate_ppm: 0,
+            miss_policy: MissPolicy::Continue,
+            util_ppm: 450_000,
+            seed: 11,
+        },
+        Scenario {
+            label: "h743/edf/gated/wcet",
+            platform: PlatformConfig::stm32h743_ospi(),
+            policy: Policy::Edf,
+            work_conserving: false,
+            exec_scale_min_ppm: 1_000_000,
+            fault_rate_ppm: 0,
+            miss_policy: MissPolicy::Continue,
+            util_ppm: 500_000,
+            seed: 3,
+        },
+        Scenario {
+            label: "m4/fp/gated/faults",
+            platform: PlatformConfig::cortex_m4_lowend(),
+            policy: Policy::FixedPriority,
+            work_conserving: false,
+            exec_scale_min_ppm: 1_000_000,
+            fault_rate_ppm: 50_000,
+            miss_policy: MissPolicy::Continue,
+            util_ppm: 300_000,
+            seed: 19,
+        },
+        Scenario {
+            label: "f746/fp/overload/continue",
+            platform: PlatformConfig::stm32f746_qspi(),
+            policy: Policy::FixedPriority,
+            work_conserving: false,
+            exec_scale_min_ppm: 1_000_000,
+            fault_rate_ppm: 200_000,
+            miss_policy: MissPolicy::Continue,
+            util_ppm: 800_000,
+            seed: 23,
+        },
+        Scenario {
+            label: "f746/fp/overload/abort",
+            platform: PlatformConfig::stm32f746_qspi(),
+            policy: Policy::FixedPriority,
+            work_conserving: false,
+            exec_scale_min_ppm: 1_000_000,
+            fault_rate_ppm: 200_000,
+            miss_policy: MissPolicy::Abort,
+            util_ppm: 800_000,
+            seed: 23,
+        },
+        Scenario {
+            label: "f746/fp/overload/skip-next",
+            platform: PlatformConfig::stm32f746_qspi(),
+            policy: Policy::FixedPriority,
+            work_conserving: false,
+            exec_scale_min_ppm: 1_000_000,
+            fault_rate_ppm: 200_000,
+            miss_policy: MissPolicy::SkipNextRelease,
+            util_ppm: 800_000,
+            seed: 23,
+        },
+        Scenario {
+            label: "h743/edf/wc/jitter+faults",
+            platform: PlatformConfig::stm32h743_ospi(),
+            policy: Policy::Edf,
+            work_conserving: true,
+            exec_scale_min_ppm: 300_000,
+            fault_rate_ppm: 100_000,
+            miss_policy: MissPolicy::SkipNextRelease,
+            util_ppm: 600_000,
+            seed: 29,
+        },
+    ]
+}
+
+fn run(s: &Scenario, engine: Engine) -> SimResult {
+    let mut params = TasksetParams::baseline(4, s.util_ppm);
+    params.segments_range = (2, 5);
+    params.fetch_compute_ratio_ppm = 300_000;
+    let ts = generate(&params, &s.platform, s.seed);
+    let ts = TaskSet::from_tasks(
+        ts.tasks()
+            .iter()
+            .map(|t| t.clone().with_miss_policy(s.miss_policy))
+            .collect(),
+    );
+    let horizon = ts.tasks().iter().map(|t| t.period).max().unwrap() * 4;
+    let config = SimConfig {
+        horizon,
+        policy: s.policy,
+        exec_scale_min_ppm: s.exec_scale_min_ppm,
+        seed: s.seed,
+        work_conserving: s.work_conserving,
+        fault: FaultPlan {
+            seed: s.seed,
+            dma_fault_rate_ppm: s.fault_rate_ppm,
+            max_retries: DEFAULT_MAX_RETRIES,
+            jitter_max_cycles: if s.fault_rate_ppm > 0 { 50 } else { 0 },
+        },
+        engine,
+    };
+    simulate(&ts, &s.platform, &config)
+}
+
+/// Whether two runs are observably identical: same trace, same
+/// per-task stats, same aggregate metrics.
+fn identical(a: &SimResult, b: &SimResult) -> bool {
+    a.trace.events() == b.trace.events() && a.stats == b.stats && a.metrics == b.metrics
+}
+
+/// F12 — the engine-equivalence gate across the directed scenario grid.
+pub fn f12_engine() -> String {
+    let mut rows = Vec::new();
+    for s in scenarios() {
+        let legacy = run(&s, Engine::Legacy);
+        let des = run(&s, Engine::Des);
+        let releases: u64 = des.stats.iter().map(|t| t.releases).sum();
+        rows.push(vec![
+            s.label.to_owned(),
+            des.trace.events().len().to_string(),
+            releases.to_string(),
+            des.total_misses().to_string(),
+            des.metrics.injected_faults.to_string(),
+            if identical(&legacy, &des) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
+        ]);
+    }
+    report::table(
+        &[
+            "scenario",
+            "trace events",
+            "releases",
+            "misses",
+            "faults",
+            "identical",
+        ],
+        &rows,
+    )
+}
+
+/// Simulated horizon of the throughput probe: two seconds at 200 MHz —
+/// long enough that per-run wall time dwarfs timer granularity.
+const PROBE_HORIZON: u64 = 400_000_000;
+
+/// Probe runs per engine; the fastest run counts, as in any
+/// throughput benchmark, to shed scheduler noise.
+const PROBE_RUNS: u32 = 5;
+
+/// The throughput-probe task set: the workload class RT-MDM targets.
+///
+/// Two overlapped DNN pipelines at ~85% combined CPU utilization keep
+/// CPU and DMA contending through long non-preemptive segments, while
+/// two high-rate resident control loops pepper those stretches with
+/// timer traffic. A control release landing mid-segment cannot
+/// dispatch (the segment holds the CPU) and its sub-period deadline
+/// check lands at its own instant and mutates nothing — so roughly a
+/// third of all instants change no resource state. The legacy loop
+/// settles contention credit and recomputes both finish estimates at
+/// every one of those cuts; the event engine pops a timer event and
+/// moves on. This is the multi-DNN-plus-control mix the paper runs on
+/// the MCU, and the regime the engine rewrite is for.
+///
+/// The deadlines are deliberately shorter than the periods (checks at
+/// distinct instants) and unmeetable behind a 90 k-cycle segment; the
+/// probe measures simulator throughput, not schedulability.
+fn probe_taskset() -> TaskSet {
+    let cy = Cycles::new;
+    let seg = |compute: u64, bytes: u64| Segment::new(cy(compute), bytes);
+    let task = |name: &str, period: u64, deadline: u64, segs: Vec<Segment>, mode: StagingMode| {
+        SporadicTask::new(name, cy(period), cy(deadline), segs, mode).expect("valid probe task")
+    };
+    TaskSet::from_tasks(vec![
+        task(
+            "ctrl-a",
+            2_000,
+            1_200,
+            vec![seg(60, 0)],
+            StagingMode::Resident,
+        ),
+        task(
+            "ctrl-b",
+            3_100,
+            1_900,
+            vec![seg(90, 0)],
+            StagingMode::Resident,
+        ),
+        task(
+            "dnn-a",
+            2_000_000,
+            2_000_000,
+            (0..10).map(|_| seg(90_000, 16_000)).collect(),
+            StagingMode::Overlapped,
+        ),
+        task(
+            "dnn-b",
+            3_500_000,
+            3_500_000,
+            (0..8).map(|_| seg(150_000, 26_000)).collect(),
+            StagingMode::Overlapped,
+        ),
+    ])
+}
+
+/// Measures DES-versus-legacy simulator throughput on a fixed two-
+/// simulated-second scenario and cross-checks equivalence on it.
+///
+/// Wall-clock based and therefore nondeterministic — the numbers go to
+/// `BENCH_run_all.json`, never into `results/*.txt`.
+pub fn engine_comparison() -> EngineComparison {
+    let p = PlatformConfig::stm32f746_qspi();
+    let ts = probe_taskset();
+    let config = |engine: Engine| SimConfig {
+        horizon: rtmdm_mcusim::Cycles::new(PROBE_HORIZON),
+        policy: Policy::FixedPriority,
+        exec_scale_min_ppm: 1_000_000,
+        seed: 3,
+        work_conserving: false,
+        fault: FaultPlan::NONE,
+        engine,
+    };
+    let timed_run = |engine: Engine| -> (SimResult, f64) {
+        let start = Instant::now();
+        let run = simulate(&ts, &p, &config(engine));
+        (run, start.elapsed().as_secs_f64())
+    };
+    // Interleave the engines so slow drift (thermal, scheduler) hits
+    // both equally; the fastest run per engine counts, as in any
+    // throughput benchmark, to shed scheduler noise.
+    let mut legacy_wall = f64::INFINITY;
+    let mut des_wall = f64::INFINITY;
+    let mut legacy = None;
+    let mut des = None;
+    for _ in 0..PROBE_RUNS {
+        let (run, wall) = timed_run(Engine::Legacy);
+        legacy_wall = legacy_wall.min(wall);
+        legacy = Some(run);
+        let (run, wall) = timed_run(Engine::Des);
+        des_wall = des_wall.min(wall);
+        des = Some(run);
+    }
+    let (legacy, des) = (
+        legacy.expect("at least one probe run"),
+        des.expect("at least one probe run"),
+    );
+    let rate = |wall: f64| {
+        if wall > 1e-9 {
+            PROBE_HORIZON as f64 / wall
+        } else {
+            0.0
+        }
+    };
+    let legacy_rate = rate(legacy_wall);
+    let des_rate = rate(des_wall);
+    EngineComparison {
+        sim_cycles: PROBE_HORIZON,
+        des_cycles_per_second: des_rate,
+        legacy_cycles_per_second: legacy_rate,
+        speedup: if legacy_rate > 0.0 {
+            des_rate / legacy_rate
+        } else {
+            0.0
+        },
+        equivalent: identical(&legacy, &des),
+    }
+}

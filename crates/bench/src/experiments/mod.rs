@@ -3,6 +3,7 @@
 mod ablation;
 mod blocking;
 mod energy;
+mod engine;
 mod latency;
 mod platforms;
 mod robustness;
@@ -12,6 +13,7 @@ mod tables;
 pub use ablation::f8_ablation;
 pub use blocking::f6_blocking;
 pub use energy::f9_energy;
+pub use engine::{engine_comparison, f12_engine};
 pub use latency::{f1_latency, f4_sram_budget, f5_bandwidth};
 pub use platforms::f10_platforms;
 pub use robustness::f11_robustness;

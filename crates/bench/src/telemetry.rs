@@ -67,6 +67,25 @@ impl ExperimentMetrics {
     }
 }
 
+/// DES-versus-legacy simulator throughput on a fixed probe scenario
+/// (see `experiments::engine_comparison`). The rates and speedup are
+/// wall-clock based and therefore nondeterministic; `equivalent` is
+/// exact — it records whether both engines produced the identical
+/// trace, stats, and metrics on the probe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineComparison {
+    /// Simulated cycles of the probe scenario (per engine).
+    pub sim_cycles: u64,
+    /// Simulated cycles retired per wall second, discrete-event engine.
+    pub des_cycles_per_second: f64,
+    /// Simulated cycles retired per wall second, legacy advance loop.
+    pub legacy_cycles_per_second: f64,
+    /// `des_cycles_per_second / legacy_cycles_per_second`.
+    pub speedup: f64,
+    /// Whether both engines agreed byte-for-byte on the probe.
+    pub equivalent: bool,
+}
+
 /// Whole-run aggregates over every experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunTotals {
@@ -104,6 +123,8 @@ pub struct RunMetrics {
     pub registry: Snapshot,
     /// Deterministic probe numbers (see [`Probe`]).
     pub probe: Probe,
+    /// DES-versus-legacy engine throughput (see [`EngineComparison`]).
+    pub engine: EngineComparison,
 }
 
 /// One entry of [`BenchSummary`].
@@ -128,12 +149,19 @@ pub struct BenchSummary {
     pub total_wall_seconds: f64,
     /// Total simulated cycles across the run.
     pub total_sim_cycles: u64,
+    /// DES-versus-legacy engine throughput on the probe scenario.
+    pub engine: EngineComparison,
 }
 
 impl RunMetrics {
-    /// Assembles the document from per-experiment records and the final
-    /// registry snapshot.
-    pub fn new(workers: usize, experiments: Vec<ExperimentMetrics>, registry: Snapshot) -> Self {
+    /// Assembles the document from per-experiment records, the final
+    /// registry snapshot, and the engine throughput comparison.
+    pub fn new(
+        workers: usize,
+        experiments: Vec<ExperimentMetrics>,
+        registry: Snapshot,
+        engine: EngineComparison,
+    ) -> Self {
         let totals = RunTotals {
             wall_seconds: experiments.iter().map(|e| e.wall_seconds).sum(),
             sim_runs: experiments.iter().map(|e| e.sim_runs).sum(),
@@ -146,6 +174,7 @@ impl RunMetrics {
             totals,
             registry,
             probe: probe(),
+            engine,
         }
     }
 
@@ -163,6 +192,7 @@ impl RunMetrics {
                 .collect(),
             total_wall_seconds: self.totals.wall_seconds,
             total_sim_cycles: self.totals.sim_cycles,
+            engine: self.engine.clone(),
         }
     }
 }
@@ -248,7 +278,14 @@ mod tests {
         assert_eq!(e.sim_runs, 3);
         assert_eq!(e.sim_cycles, 600);
         assert!(e.sim_cycles_per_second > 0.0);
-        let doc = RunMetrics::new(4, vec![e.clone(), e], after);
+        let engine = EngineComparison {
+            sim_cycles: 200,
+            des_cycles_per_second: 4.0,
+            legacy_cycles_per_second: 2.0,
+            speedup: 2.0,
+            equivalent: true,
+        };
+        let doc = RunMetrics::new(4, vec![e.clone(), e], after, engine);
         assert_eq!(doc.totals.sim_runs, 6);
         assert_eq!(doc.totals.sim_cycles, 1200);
         let json = serde_json::to_string(&doc).unwrap();
@@ -262,6 +299,8 @@ mod tests {
         let sjson = serde_json::to_string(&summary).unwrap();
         let sback: BenchSummary = serde_json::from_str(&sjson).unwrap();
         assert_eq!(sback.experiments[0].id, "f3_miss_ratio");
+        assert!(sback.engine.equivalent);
+        assert_eq!(sback.engine.speedup, 2.0);
     }
 
     #[test]

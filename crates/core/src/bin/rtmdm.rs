@@ -19,7 +19,10 @@
 //! `--fault-retries`, `--fault-jitter`) turns on seeded DMA fault
 //! injection for `simulate`/`trace`, and `--miss-policy
 //! continue|abort|skip-next` selects what the runtime does with jobs
-//! that miss their deadline. The `check` subcommand runs the static
+//! that miss their deadline. `--engine legacy|des` picks the
+//! simulator's time-advancement engine; both produce byte-identical
+//! results (the default `des` is faster), so the knob exists for the
+//! equivalence gate and throughput comparisons. The `check` subcommand runs the static
 //! verifier without admitting: `--json` emits the machine-readable
 //! report, `--deny-warnings` escalates warnings to errors, and
 //! `--allow RTM0xx` / `--deny RTM0xx` tune individual rules. Exit
@@ -33,7 +36,7 @@ use rtmdm_core::{report, FrameworkOptions, RtMdm, Strategy, TaskSpec};
 use rtmdm_dnn::zoo;
 use rtmdm_mcusim::PlatformConfig;
 use rtmdm_obs::Timeline;
-use rtmdm_sched::sim::Policy;
+use rtmdm_sched::sim::{Engine, Policy};
 use rtmdm_sched::MissPolicy;
 
 fn usage() -> ExitCode {
@@ -42,7 +45,7 @@ fn usage() -> ExitCode {
          [--platform NAME] [--task name=model@period_ms[/deadline_ms][:strategy]]… \
          [--seconds S] [--jitter PCT] [--seed N] [--edf] [--work-conserving] \
          [--fault-rate PPM] [--fault-seed N] [--fault-retries N] [--fault-jitter CYCLES] \
-         [--miss-policy continue|abort|skip-next] \
+         [--miss-policy continue|abort|skip-next] [--engine legacy|des] \
          [--out PATH] [--format chrome|jsonl] [--gantt] \
          [--json] [--deny-warnings] [--allow RULE] [--deny RULE]"
     );
@@ -193,6 +196,18 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
                     _ => {
                         return Err(CliError::Msg(format!(
                             "unknown --miss-policy `{p}` (expected `continue`, `abort`, or `skip-next`)"
+                        )))
+                    }
+                };
+            }
+            "--engine" => {
+                let e = it.next().ok_or(CliError::Usage)?;
+                options.engine = match e.as_str() {
+                    "legacy" => Engine::Legacy,
+                    "des" => Engine::Des,
+                    _ => {
+                        return Err(CliError::Msg(format!(
+                            "unknown --engine `{e}` (expected `legacy` or `des`)"
                         )))
                     }
                 };

@@ -8,7 +8,14 @@ use crate::time::Cycles;
 /// A min-heap of timestamped events with deterministic FIFO tie-breaking.
 ///
 /// Events scheduled for the same instant pop in insertion order, which
-/// keeps simulations bit-reproducible regardless of heap internals.
+/// keeps simulations bit-reproducible regardless of heap internals. The
+/// tie-break is a monotonically increasing sequence number stamped on
+/// every `push`; it is never reset — not by `pop`, not by `clear` — so
+/// FIFO order among ties is preserved across arbitrary interleavings of
+/// push and pop, and a `clone` observes the same order as the original.
+/// Simulation engines that replace a polling loop with wake events rely
+/// on this: two engines that push the same same-instant events in the
+/// same order must drain them identically.
 ///
 /// # Examples
 ///
@@ -156,5 +163,79 @@ mod tests {
         q.push(Cycles::new(20), 'b');
         assert_eq!(q.pop().unwrap().1, 'b');
         assert_eq!(q.pop().unwrap().1, 'c');
+    }
+
+    /// Same-instant FIFO survives pops in between: an event pushed at
+    /// time `t` *after* earlier `t`-events were already drained must
+    /// still pop after any `t`-event pushed before it that remains.
+    #[test]
+    fn same_instant_fifo_survives_interleaved_pops() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(5), "first");
+        q.push(Cycles::new(5), "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        // New same-instant arrivals rank behind the survivor.
+        q.push(Cycles::new(5), "third");
+        q.push(Cycles::new(5), "fourth");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+        assert_eq!(q.pop().unwrap().1, "fourth");
+    }
+
+    /// `clear` must not reset the sequence counter: events pushed after
+    /// a clear still rank behind nothing stale, and ties among them are
+    /// FIFO exactly as in a fresh queue.
+    #[test]
+    fn clear_preserves_fifo_for_subsequent_pushes() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(1), 0u32);
+        q.push(Cycles::new(1), 1);
+        q.clear();
+        for i in 10..15u32 {
+            q.push(Cycles::new(3), i);
+        }
+        for i in 10..15u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+        assert!(q.is_empty());
+    }
+
+    /// A cloned queue drains in exactly the order of the original.
+    #[test]
+    fn clone_drains_identically() {
+        let mut q = EventQueue::new();
+        for (i, &t) in [4u64, 2, 4, 2, 9, 4, 2].iter().enumerate() {
+            q.push(Cycles::new(t), i);
+        }
+        let mut c = q.clone();
+        while let Some(orig) = q.pop() {
+            assert_eq!(c.pop(), Some(orig));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    /// Differential check against a stable-sort reference model: for a
+    /// deterministic pseudo-random workload with heavy timestamp
+    /// collisions, the queue must drain in exactly the order a stable
+    /// sort by time would produce (stability = insertion order).
+    #[test]
+    fn drains_like_a_stable_sort() {
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        // xorshift64 keeps this reproducible without external RNG deps.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let t = state % 16; // few distinct instants => many ties
+            q.push(Cycles::new(t), i);
+            reference.push((t, i));
+        }
+        reference.sort_by_key(|&(t, _)| t); // sort_by_key is stable
+        for &(t, i) in &reference {
+            assert_eq!(q.pop(), Some((Cycles::new(t), i)));
+        }
+        assert!(q.is_empty());
     }
 }

@@ -87,6 +87,7 @@ pub fn sync_simulation_accepts(
         seed: 0,
         work_conserving,
         fault: rtmdm_mcusim::FaultPlan::NONE,
+        engine: crate::sim::Engine::default(),
     };
     let run = simulate(ts, platform, &config);
     Some(run.no_misses())

@@ -32,6 +32,31 @@
 //!   event instants cut it — the simulator never runs slower than the
 //!   analysis's single-ceiling inflation bound, and all arithmetic is
 //!   integral, so runs are bit-reproducible.
+//!
+//! ## Time-advancement engines
+//!
+//! Two interchangeable engines drive the clock (selected by
+//! [`SimConfig::engine`]); both produce byte-identical traces, stats,
+//! and metrics, a property pinned by differential tests:
+//!
+//! - [`Engine::Legacy`] walks every event cut: each iteration
+//!   recomputes both resources' finish estimates, advances to the
+//!   nearest instant, and settles the elapsed interval immediately.
+//! - [`Engine::Des`] (the default) is a discrete-event engine: timer
+//!   releases and deadline checks live in the event heap, while the CPU
+//!   and the DMA stream each post their wake instant into a
+//!   two-register *wake front* merged with the heap head at the loop
+//!   top (the resource wake set is bounded at two, so two registers are
+//!   the degenerate — and optimal — priority queue for it). Interval
+//!   settlement is deferred until a resource is mutated or completes,
+//!   and the wake registers are re-derived only then: finish instants
+//!   are invariant under settlement cuts, so the cache stays exact.
+//!   Timer instants that change no resource state are processed without
+//!   settlement arithmetic, ready-queue scans, or any heap traffic
+//!   beyond their own pop — idle and uncontended stretches cut by many
+//!   timer events are skipped in O(1) per event instead of paying the
+//!   contended-rate division at every cut. See `DESIGN.md` for the
+//!   heap contract and the settlement-exactness argument.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,6 +77,26 @@ pub enum Policy {
     FixedPriority,
     /// Earliest deadline first over head jobs' absolute deadlines.
     Edf,
+}
+
+/// Time-advancement engine of the simulator (see the module docs).
+///
+/// Both engines are exact and produce byte-identical results; the
+/// discrete-event engine is the default because it skips quiet
+/// stretches in O(1) instead of settling contended progress at every
+/// event cut.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// The original instant-stepping loop: every iteration recomputes
+    /// both resources' finish estimates and settles up to the nearest
+    /// event instant. Kept as the reference implementation the
+    /// discrete-event engine is differentially tested against.
+    Legacy,
+    /// Discrete-event engine: resource wake instants are held in a
+    /// two-register wake front merged with the timer heap, and
+    /// settlement is deferred until a resource changes state.
+    #[default]
+    Des,
 }
 
 /// Simulation parameters.
@@ -82,6 +127,10 @@ pub struct SimConfig {
     /// When inactive, the simulator consults no fault RNG and the run
     /// is byte-identical to one without an injector at all.
     pub fault: FaultPlan,
+    /// Time-advancement engine ([`Engine::Des`] by default). The choice
+    /// affects wall-clock throughput only, never results.
+    #[serde(default)]
+    pub engine: Engine,
 }
 
 impl SimConfig {
@@ -94,6 +143,7 @@ impl SimConfig {
             seed: 0,
             work_conserving: false,
             fault: FaultPlan::NONE,
+            engine: Engine::default(),
         }
     }
 
@@ -107,6 +157,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Selects the time-advancement engine (builder style).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -167,31 +224,43 @@ impl ResponseHist {
         self.buckets[k] += 1;
     }
 
-    /// Number of recorded responses.
+    /// Number of recorded responses, saturating at `u64::MAX`. Merged
+    /// histograms (e.g. fleet-wide telemetry buckets) can hold more
+    /// than `u64::MAX` samples in total; the saturation only affects
+    /// this convenience accessor — [`ResponseHist::percentile_upper`]
+    /// ranks in `u128` and stays exact regardless.
     pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
     }
 
     /// An upper bound on the `pct`-th percentile response (the top of
-    /// the bucket containing it), or `None` when empty.
+    /// the bucket containing it). Returns `None` when the histogram is
+    /// empty, and for `pct == 0`: the 0th percentile bounds an empty
+    /// prefix of the samples, so it has no witness bucket — answering
+    /// the minimum would silently alias it to `pct == 1`.
+    ///
+    /// All rank arithmetic is `u128` end to end: both `total * pct`
+    /// and the bucket sum itself can overflow `u64` on merged
+    /// long-horizon histograms.
     ///
     /// # Panics
     ///
-    /// Panics if `pct` is not in `1..=100`.
+    /// Panics if `pct > 100`.
     pub fn percentile_upper(&self, pct: u64) -> Option<Cycles> {
-        assert!((1..=100).contains(&pct), "percentile must be 1..=100");
-        let total = self.count();
+        assert!(pct <= 100, "percentile must be at most 100");
+        if pct == 0 {
+            return None;
+        }
+        let total: u128 = self.buckets.iter().map(|&c| u128::from(c)).sum();
         if total == 0 {
             return None;
         }
-        // Rank arithmetic in u128: `total * pct` overflows u64 once
-        // total exceeds u64::MAX / 100 (long-horizon accumulations).
-        // The rank itself always fits: ceil(total·pct/100) ≤ total ≤
-        // u64::MAX since pct ≤ 100, so the narrowing is infallible.
-        let target = (u128::from(total) * u128::from(pct)).div_ceil(100) as u64;
-        let mut seen = 0;
+        let target = (total * u128::from(pct)).div_ceil(100);
+        let mut seen: u128 = 0;
         for (k, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+            seen += u128::from(c);
             if seen >= target {
                 // Top of bucket k is 2^(k+1) − 1; the last bucket's top
                 // is u64::MAX exactly (2^64 − 1).
@@ -200,7 +269,9 @@ impl ResponseHist {
                 ));
             }
         }
-        None
+        // 1 ≤ pct ≤ 100 gives 0 < target ≤ total, and `seen` reaches
+        // `total` exactly on the last bucket.
+        unreachable!("percentile rank exceeds histogram total")
     }
 
     /// Raw bucket counts.
@@ -369,7 +440,7 @@ struct Sim<'a> {
     platform: &'a PlatformConfig,
     config: &'a SimConfig,
     now: Cycles,
-    timed: EventQueue<TimedEvent>,
+    events: EventQueue<TimedEvent>,
     tasks: Vec<TaskState>,
     cpu: Option<CpuExec>,
     dma: Option<DmaExec>,
@@ -384,6 +455,42 @@ struct Sim<'a> {
     /// Fault decisions for DMA transfers; inactive injectors answer
     /// every query with a constant zero and touch no RNG.
     injector: FaultInjector,
+
+    // --- deferred-settlement state (Engine::Des; see DESIGN.md) -----------
+    /// Instant up to which busy/stall accounting and resource progress
+    /// have been applied. Always equals `now` under the legacy engine;
+    /// under DES it lags `now` across quiet stretches.
+    settled_to: Cycles,
+    /// Cached absolute CPU finish instant, valid as of `settled_to`.
+    /// Finish instants are invariant under settlement cuts (the credit
+    /// carry makes `remaining·den − credit` drop by exactly `Δ·PPM`
+    /// per settled cycle), so the cache stays exact until the next
+    /// resource mutation.
+    cpu_fin: Option<Cycles>,
+    /// Cached absolute DMA finish instant (see `cpu_fin`).
+    dma_fin: Option<Cycles>,
+    /// Set when the CPU execution slot was mutated this instant: its
+    /// cached finish instant (half the DES wake front) must be
+    /// re-derived. Tracked per resource because most instants mutate
+    /// only one: the other's finish instant is exact as long as its
+    /// contention phase did not change (see `fin_phase_both`).
+    cpu_dirty: bool,
+    /// Set when the DMA execution slot was mutated this instant (see
+    /// `cpu_dirty`).
+    dma_dirty: bool,
+    /// Whether both resources were busy when the wake front was last
+    /// derived. A flip of this phase changes *both* resources' rates
+    /// (bus-contention inflation), so `refresh_fins` re-derives both
+    /// registers on a flip even when only one slot was written.
+    fin_phase_both: bool,
+    /// Set by every handler that changes what the dispatchers see — a
+    /// job entering a queue, a resource freeing, a job dropped, a fetch
+    /// request enqueued. Instants that mutate nothing (a deadline check
+    /// that records a miss under `Continue`, say) leave it clear, and
+    /// DES skips the ready-queue scans there outright; dispatch is
+    /// deterministic in queue+resource state, so an unchanged state
+    /// re-derives the same no-op the previous instant concluded with.
+    needs_dispatch: bool,
 }
 
 /// Runs the simulation of `ts` on `platform` under `config`.
@@ -416,7 +523,7 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
         platform,
         config,
         now: Cycles::ZERO,
-        timed: EventQueue::new(),
+        events: EventQueue::new(),
         tasks: ts
             .tasks()
             .iter()
@@ -437,18 +544,28 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
         idle_open: false,
         rng: StdRng::seed_from_u64(config.seed),
         injector: FaultInjector::new(config.fault),
+        settled_to: Cycles::ZERO,
+        cpu_fin: None,
+        dma_fin: None,
+        cpu_dirty: false,
+        dma_dirty: false,
+        fin_phase_both: false,
+        needs_dispatch: true,
     };
     for i in 0..ts.len() {
-        sim.timed.push(Cycles::ZERO, TimedEvent::Release(i));
+        sim.schedule(Cycles::ZERO, TimedEvent::Release(i));
     }
-    sim.run();
+    match config.engine {
+        Engine::Legacy => sim.run_legacy(),
+        Engine::Des => sim.run_des(),
+    }
     let result = SimResult {
         trace: sim.trace,
         horizon: config.horizon,
         stats: sim.stats,
         metrics: sim.metrics,
     };
-    flush_global_metrics(&result);
+    flush_global_metrics(&result, config.engine);
     result
 }
 
@@ -457,13 +574,18 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
 /// (e.g. the benchmark harness) enabled the registry. Everything
 /// recorded is a sum, so aggregate totals are independent of the order
 /// (and thread count) in which runs execute.
-fn flush_global_metrics(result: &SimResult) {
+fn flush_global_metrics(result: &SimResult, engine: Engine) {
     let g = rtmdm_obs::metrics::global();
     if !g.is_enabled() {
         return;
     }
     let m = &result.metrics;
     g.add("sim.runs", 1);
+    // Only the non-default engine is labelled, so default-engine
+    // snapshots stay byte-identical to pre-engine-flag telemetry.
+    if engine == Engine::Legacy {
+        g.add("sim.runs_legacy", 1);
+    }
     g.add("sim.cycles", result.horizon.get());
     g.add("sim.trace_events", result.trace.len() as u64);
     g.add("sim.cpu_busy_cycles", m.cpu_busy_cycles.get());
@@ -528,11 +650,27 @@ fn contended_eta(remaining: Cycles, inflation_ppm: u32, credit: u64) -> Cycles {
 }
 
 impl Sim<'_> {
-    fn run(&mut self) {
+    /// Enqueues a timer event. Both engines share one queue, so the
+    /// FIFO order among same-instant timer events — and therefore every
+    /// handler side effect — is engine-independent by construction.
+    fn schedule(&mut self, time: Cycles, ev: TimedEvent) {
+        self.events.push(time, ev);
+    }
+
+    fn handle_timed(&mut self, ev: TimedEvent) {
+        match ev {
+            TimedEvent::Release(task) => self.release(task),
+            TimedEvent::DeadlineCheck(task, job_id) => self.deadline_check(task, job_id),
+        }
+    }
+
+    /// [`Engine::Legacy`]: advance to the nearest event cut every
+    /// iteration and settle the elapsed interval immediately.
+    fn run_legacy(&mut self) {
         loop {
             let cpu_fin = self.cpu_finish_estimate();
             let dma_fin = self.dma_finish_estimate();
-            let timed = self.timed.peek_time();
+            let timed = self.events.peek_time();
             let next = [cpu_fin, dma_fin, timed].into_iter().flatten().min();
             let Some(next) = next else {
                 // No events left (e.g. an empty task set): the CPU is
@@ -543,11 +681,11 @@ impl Sim<'_> {
             if next > self.config.horizon {
                 // Account the tail [now, horizon) — resources may still
                 // be busy — without processing the past-horizon event.
-                self.advance_to(self.config.horizon);
+                self.settle_interval(self.config.horizon, cpu_fin, dma_fin);
                 self.now = self.config.horizon;
                 break;
             }
-            self.advance_to(next);
+            self.settle_interval(next, cpu_fin, dma_fin);
             self.now = next;
 
             // Resource completions first (they may unblock tasks), then
@@ -558,12 +696,9 @@ impl Sim<'_> {
             if self.cpu.is_some_and(|c| c.remaining.is_zero()) {
                 self.complete_cpu_segment();
             }
-            while self.timed.peek_time() == Some(self.now) {
-                let (_, ev) = self.timed.pop().expect("peeked");
-                match ev {
-                    TimedEvent::Release(task) => self.release(task),
-                    TimedEvent::DeadlineCheck(task, job_id) => self.deadline_check(task, job_id),
-                }
+            while self.events.peek_time() == Some(self.now) {
+                let (_, ev) = self.events.pop().expect("peeked");
+                self.handle_timed(ev);
             }
             self.dispatch_dma();
             self.dispatch_cpu();
@@ -575,6 +710,122 @@ impl Sim<'_> {
             .config
             .horizon
             .saturating_sub(self.metrics.cpu_busy_cycles);
+    }
+
+    /// [`Engine::Des`]: jump straight to the next event — the earlier
+    /// of the timer-heap head and the two wake registers. Settlement of
+    /// the stretch since `settled_to` happens lazily — only when a
+    /// resource completes here or a handler is about to mutate one
+    /// (`touch`) — so instants that change no resource state cost no
+    /// settlement arithmetic, no ready-queue scans, and no heap traffic
+    /// beyond their own pop. The wake registers are re-derived only
+    /// after a mutating instant (`refresh_fins`); between mutations
+    /// they are exact because finish instants are invariant under
+    /// settlement cuts.
+    fn run_des(&mut self) {
+        loop {
+            let next = [self.cpu_fin, self.dma_fin, self.events.peek_time()]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(t) = next else {
+                // No events left (e.g. an empty task set): the CPU is
+                // necessarily idle from here to the horizon.
+                self.note_cpu_idle();
+                break;
+            };
+            if t > self.config.horizon {
+                // Account the tail [settled_to, horizon) — resources
+                // may still be busy — without processing the event.
+                let (cf, df) = (self.cpu_fin, self.dma_fin);
+                self.settle_interval(self.config.horizon, cf, df);
+                self.now = self.config.horizon;
+                break;
+            }
+            self.now = t;
+
+            // Resource completions first, mirroring the legacy order.
+            let dma_done = self.dma_fin == Some(t);
+            let cpu_done = self.cpu_fin == Some(t);
+            if dma_done || cpu_done {
+                let (cf, df) = (self.cpu_fin, self.dma_fin);
+                self.settle_interval(t, cf, df);
+            }
+            if dma_done {
+                debug_assert!(self.dma.is_some(), "stale DMA wake register");
+                self.complete_dma();
+            }
+            if cpu_done {
+                debug_assert!(self.cpu.is_some(), "stale CPU wake register");
+                self.complete_cpu_segment();
+            }
+            while self.events.peek_time() == Some(t) {
+                let (_, ev) = self.events.pop().expect("peeked");
+                self.handle_timed(ev);
+            }
+            // Instants whose handlers changed nothing the dispatchers
+            // read (see `needs_dispatch`) skip the ready-queue scans:
+            // dispatch would re-derive the previous instant's no-op.
+            if self.needs_dispatch {
+                self.needs_dispatch = false;
+                self.dispatch_dma();
+                self.dispatch_cpu();
+            }
+            self.note_cpu_idle();
+            self.refresh_fins();
+        }
+        self.metrics.cpu_idle_cycles = self
+            .config
+            .horizon
+            .saturating_sub(self.metrics.cpu_busy_cycles);
+    }
+
+    /// Settles the deferred stretch `[settled_to, now]` using the
+    /// cached finish instants. Must be called before any mutation of
+    /// `cpu`/`dma` outside the completion path — dispatching,
+    /// preempting, or cancelling with unsettled progress would corrupt
+    /// remaining-work and stall accounting. The mutation site itself
+    /// marks the resource it writes (`cpu_dirty`/`dma_dirty`). Free
+    /// under the legacy engine (`settled_to == now` always) and
+    /// idempotent within an instant.
+    fn touch(&mut self) {
+        if self.settled_to < self.now {
+            let (cf, df) = (self.cpu_fin, self.dma_fin);
+            self.settle_interval(self.now, cf, df);
+        }
+    }
+
+    /// Re-derives the wake registers (the cached finish instants) after
+    /// a dirty instant. Mutating a resource invalidates at most these
+    /// two registers — there is nothing to search or unpost, which is
+    /// why the wake front lives outside the heap. The registers are
+    /// invalidated *per resource*: a register is exact until its slot
+    /// is written or the bus-contention phase flips (which changes both
+    /// resources' rates), because finish instants are invariant under
+    /// settlement cuts. At the common single-resource instant — a
+    /// control job completing and its successor dispatching while a DNN
+    /// fetch streams — the other register is reused, saving its
+    /// wide-division estimate; the legacy loop recomputes both every
+    /// iteration. Invariant on exit: `cpu_fin`/`dma_fin` equal the
+    /// resources' true finish instants (`None` when idle) — what the
+    /// completion checks in `run_des` rely on.
+    fn refresh_fins(&mut self) {
+        let both = self.both_busy();
+        if both != self.fin_phase_both {
+            self.fin_phase_both = both;
+            self.cpu_dirty = true;
+            self.dma_dirty = true;
+        }
+        if self.cpu_dirty {
+            self.cpu_dirty = false;
+            debug_assert_eq!(self.settled_to, self.now, "fin refresh on unsettled state");
+            self.cpu_fin = self.cpu_finish_estimate();
+        }
+        if self.dma_dirty {
+            self.dma_dirty = false;
+            debug_assert_eq!(self.settled_to, self.now, "fin refresh on unsettled state");
+            self.dma_fin = self.dma_finish_estimate();
+        }
     }
 
     /// Opens a [`TraceKind::CpuIdle`] interval if the CPU is idle and no
@@ -622,21 +873,55 @@ impl Sim<'_> {
         Some(self.now + dur)
     }
 
-    fn advance_to(&mut self, next: Cycles) {
-        let delta = next.saturating_sub(self.now);
+    /// Settles the interval `[settled_to, to]`: charges busy wall time,
+    /// retires (contended) work, and accounts stall cycles for both
+    /// resources. `cpu_fin`/`dma_fin` are the resources' finish
+    /// instants — recomputed fresh by the legacy loop, cached under
+    /// DES (finish instants are invariant under settlement cuts, so
+    /// the cache is exact).
+    ///
+    /// The floor-carry identity behind both engines: each settled cycle
+    /// lowers `remaining·den − credit` by exactly `PPM`, so splitting a
+    /// contended phase at arbitrary cuts retires the same total work
+    /// and accrues the same busy/stall sums as settling it whole.
+    ///
+    /// **Accounting audit** (the former `advance_to` used
+    /// `saturating_sub` here): a resource can never finish *strictly
+    /// inside* a settled interval. The legacy loop advances to the
+    /// minimum of the finish estimates, and DES settles at most up to
+    /// the earliest live wake — in both cases `to ≤ fin` whenever the
+    /// resource is busy. In the `fin == to` branch the stall term
+    /// `delta − remaining` is likewise exact: the finish estimate
+    /// satisfies `eta ≥ remaining` (den ≥ PPM and credit < den imply
+    /// `remaining·den − credit > (remaining − 1)·PPM`), and `delta`
+    /// spans at least the final `eta` of the phase. The saturating
+    /// forms are therefore never hit; the debug assertions below turn
+    /// any future violation into a loud failure instead of a silent
+    /// undercount.
+    fn settle_interval(&mut self, to: Cycles, cpu_fin: Option<Cycles>, dma_fin: Option<Cycles>) {
+        debug_assert!(to >= self.settled_to, "settlement must move forward");
+        let delta = to.saturating_sub(self.settled_to);
+        self.settled_to = to;
         if delta.is_zero() {
             return;
         }
+        debug_assert!(
+            self.cpu.is_none() || cpu_fin.is_some_and(|f| f >= to),
+            "CPU would finish strictly inside a settled interval"
+        );
+        debug_assert!(
+            self.dma.is_none() || dma_fin.is_some_and(|f| f >= to),
+            "DMA would finish strictly inside a settled interval"
+        );
         let both = self.both_busy();
-        let cpu_fin = self.cpu_finish_estimate();
-        let dma_fin = self.dma_finish_estimate();
         let cpu_inflation = self.platform.contention.cpu_inflation_ppm;
         let dma_inflation = self.platform.contention.dma_inflation_ppm;
         if let Some(c) = self.cpu.as_mut() {
             self.metrics.cpu_busy_cycles += delta;
-            if cpu_fin == Some(next) {
+            if cpu_fin == Some(to) {
                 // The interval retires exactly the remaining work; the
                 // surplus wall time is contention stall.
+                debug_assert!(delta >= c.remaining, "finish estimate below remaining");
                 if both {
                     self.metrics.cpu_stall_cycles += delta.saturating_sub(c.remaining);
                 }
@@ -647,6 +932,7 @@ impl Sim<'_> {
                 } else {
                     delta
                 };
+                debug_assert!(done < c.remaining, "undetected CPU completion");
                 if both {
                     self.metrics.cpu_stall_cycles += delta.saturating_sub(done);
                 }
@@ -655,7 +941,8 @@ impl Sim<'_> {
         }
         if let Some(d) = self.dma.as_mut() {
             self.metrics.dma_busy_cycles += delta;
-            if dma_fin == Some(next) {
+            if dma_fin == Some(to) {
+                debug_assert!(delta >= d.remaining, "finish estimate below remaining");
                 if both {
                     self.metrics.dma_stall_cycles += delta.saturating_sub(d.remaining);
                 }
@@ -666,6 +953,7 @@ impl Sim<'_> {
                 } else {
                     delta
                 };
+                debug_assert!(done < d.remaining, "undetected DMA completion");
                 if both {
                     self.metrics.dma_stall_cycles += delta.saturating_sub(done);
                 }
@@ -706,7 +994,7 @@ impl Sim<'_> {
                     job: JobId(id),
                 },
             );
-            self.timed.push(next_release, TimedEvent::Release(task_idx));
+            self.schedule(next_release, TimedEvent::Release(task_idx));
             return;
         }
 
@@ -739,6 +1027,8 @@ impl Sim<'_> {
             miss_recorded: false,
             abort_pending: false,
         });
+        let next_release = state.next_release;
+        self.needs_dispatch = true;
         self.stats[task_idx].releases += 1;
         self.trace.push(
             self.now,
@@ -748,10 +1038,8 @@ impl Sim<'_> {
                 deadline: abs_deadline,
             },
         );
-        self.timed
-            .push(abs_deadline, TimedEvent::DeadlineCheck(task_idx, id));
-        self.timed
-            .push(state.next_release, TimedEvent::Release(task_idx));
+        self.schedule(abs_deadline, TimedEvent::DeadlineCheck(task_idx, id));
+        self.schedule(next_release, TimedEvent::Release(task_idx));
 
         // Kick off the first fetch of the *head* job only; queued-behind
         // jobs start fetching when they reach the head.
@@ -824,6 +1112,7 @@ impl Sim<'_> {
     /// queued and in-flight DMA transfers, records the abort, and — when
     /// the head job changed — restarts staging for the new head.
     fn drop_job(&mut self, task_idx: usize, pos: usize) {
+        self.needs_dispatch = true;
         let job = self.tasks[task_idx].jobs.remove(pos).expect("job to drop");
         self.stats[task_idx].aborted += 1;
         self.metrics.aborted_jobs += 1;
@@ -842,6 +1131,10 @@ impl Sim<'_> {
             .dma
             .is_some_and(|d| d.task == task_idx && d.job == job.id)
         {
+            // Settle the doomed transfer's wall time (and the CPU's —
+            // its contention state flips here too) before cancelling.
+            self.touch();
+            self.dma_dirty = true;
             self.dma = None;
         }
         if pos == 0 {
@@ -852,6 +1145,8 @@ impl Sim<'_> {
     }
 
     fn complete_dma(&mut self) {
+        self.needs_dispatch = true;
+        self.dma_dirty = true;
         let d = self.dma.take().expect("dma completion without transfer");
         let head_id = self.tasks[d.task].jobs.front().map(|j| j.id);
         if head_id == Some(d.job)
@@ -928,6 +1223,8 @@ impl Sim<'_> {
     }
 
     fn complete_cpu_segment(&mut self) {
+        self.needs_dispatch = true;
+        self.cpu_dirty = true;
         let c = self.cpu.take().expect("cpu completion without segment");
         let task_idx = c.task;
         let (job_id, job_done, abort, response) = {
@@ -1101,15 +1398,19 @@ impl Sim<'_> {
             .min_by_key(|(_, r)| self.dma_key(r.task, r.seg, r.deadline))
             .map(|(i, _)| i);
         if let Some(i) = best {
-            if let Some(current) = self.dma {
+            if self.dma.is_some() {
                 let req = &self.dma_queue[i];
-                let current_key = self.dma_key(current.task, current.seg, current.deadline);
                 let best_key = self.dma_key(req.task, req.seg, req.deadline);
+                let current = self.dma.expect("checked in-flight");
+                let current_key = self.dma_key(current.task, current.seg, current.deadline);
                 if best_key >= current_key {
                     return; // in-flight transfer keeps the channel
                 }
-                // Suspend the in-flight transfer; its remaining work
+                // Settle in-flight progress before suspending the
+                // transfer, then re-read it: its remaining work
                 // (including sub-cycle progress) returns to the queue.
+                self.touch();
+                let current = self.dma.take().expect("checked in-flight");
                 self.dma_queue.push(DmaRequest {
                     task: current.task,
                     seg: current.seg,
@@ -1119,8 +1420,13 @@ impl Sim<'_> {
                     deadline: current.deadline,
                     credit: current.credit,
                 });
+            } else {
+                // A fresh dispatch changes the CPU's contention state:
+                // settle its solo progress up to this instant first.
+                self.touch();
             }
             let req = self.dma_queue.remove(i);
+            self.dma_dirty = true;
             self.dma = Some(DmaExec {
                 task: req.task,
                 seg: req.seg,
@@ -1179,6 +1485,11 @@ impl Sim<'_> {
                 .filter(|&i| self.is_ready(i))
         };
         let Some(task_idx) = chosen else { return };
+
+        // Claiming the CPU changes the in-flight DMA's contention
+        // state: settle both resources up to this instant first.
+        self.touch();
+        self.cpu_dirty = true;
 
         // The CPU leaves idle: close the open idle interval.
         if self.idle_open {
@@ -1440,6 +1751,7 @@ mod tests {
             seed: 42,
             work_conserving: false,
             fault: FaultPlan::NONE,
+            engine: Engine::Des,
         };
         let p = bare_platform();
         let r1 = simulate(&ts, &p, &cfg);
@@ -1459,6 +1771,7 @@ mod tests {
             seed,
             work_conserving: false,
             fault: FaultPlan::NONE,
+            engine: Engine::Des,
         };
         let r1 = simulate(&ts, &p, &mk(1));
         let r2 = simulate(&ts, &p, &mk(2));
@@ -1487,6 +1800,7 @@ mod tests {
                     seed,
                     work_conserving: false,
                     fault: FaultPlan::NONE,
+                    engine: Engine::Des,
                 },
             );
             for i in 0..ts.len() {
@@ -1959,5 +2273,195 @@ mod tests {
             3000,
         );
         assert!(r.stats[0].misses <= cont.stats[0].misses);
+    }
+
+    /// Runs `cfg` under both engines and asserts byte-identical
+    /// results — the equivalence gate in its directed form.
+    fn assert_engines_agree(ts: &TaskSet, p: &PlatformConfig, cfg: &SimConfig) {
+        let legacy = simulate(ts, p, &cfg.clone().with_engine(Engine::Legacy));
+        let des = simulate(ts, p, &cfg.clone().with_engine(Engine::Des));
+        assert_eq!(legacy.trace.events(), des.trace.events());
+        assert_eq!(legacy.stats, des.stats);
+        assert_eq!(legacy.metrics, des.metrics);
+    }
+
+    #[test]
+    fn engines_agree_on_directed_scenarios() {
+        let contended = {
+            let mut p = bare_platform();
+            p.contention = ContentionModel {
+                cpu_inflation_ppm: 500_000,
+                dma_inflation_ppm: 300_000,
+            };
+            p.context_switch_cycles = cy(10);
+            p
+        };
+        for p in [bare_platform(), contended, PlatformConfig::stm32f746_qspi()] {
+            // Mixed staging, preemption, and DMA-channel contention.
+            let ts = TaskSet::from_tasks(vec![
+                overlapped("a", 500, &[(40, 64), (60, 32)]),
+                resident("b", 700, &[100, 80]),
+                overlapped("c", 1300, &[(100, 500), (50, 200)]),
+            ]);
+            assert_engines_agree(&ts, &p, &SimConfig::new(cy(50_000), Policy::FixedPriority));
+            assert_engines_agree(&ts, &p, &SimConfig::new(cy(50_000), Policy::Edf));
+            assert_engines_agree(
+                &ts,
+                &p,
+                &SimConfig::new(cy(50_000), Policy::FixedPriority).work_conserving(),
+            );
+            let mut jittered = SimConfig::new(cy(50_000), Policy::FixedPriority);
+            jittered.exec_scale_min_ppm = 400_000;
+            jittered.seed = 7;
+            assert_engines_agree(&ts, &p, &jittered);
+            assert_engines_agree(
+                &ts,
+                &p,
+                &SimConfig::new(cy(50_000), Policy::FixedPriority).with_fault(fault_plan(3)),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_miss_policies() {
+        // Overloaded task sets exercising every deadline-miss policy,
+        // including DMA cancellation under Abort.
+        for policy in [
+            MissPolicy::Continue,
+            MissPolicy::SkipNextRelease,
+            MissPolicy::Abort,
+        ] {
+            let t = SporadicTask::new(
+                "a",
+                cy(100),
+                cy(100),
+                vec![Segment::new(cy(80), 0), Segment::new(cy(80), 0)],
+                StagingMode::Resident,
+            )
+            .expect("valid")
+            .with_miss_policy(policy);
+            let fetcher = SporadicTask::new(
+                "b",
+                cy(1000),
+                cy(300),
+                vec![Segment::new(cy(100), 500)],
+                StagingMode::Overlapped,
+            )
+            .expect("valid")
+            .with_miss_policy(policy);
+            let ts = TaskSet::from_tasks(vec![t, fetcher]);
+            let p = bare_platform();
+            assert_engines_agree(&ts, &p, &SimConfig::new(cy(5000), Policy::FixedPriority));
+            assert_engines_agree(
+                &ts,
+                &p,
+                &SimConfig::new(cy(5000), Policy::FixedPriority).with_fault(fault_plan(11)),
+            );
+        }
+    }
+
+    #[test]
+    fn des_defers_settlement_across_quiet_timer_instants() {
+        // A long uncontended segment (8000 cycles) crossed by many
+        // releases and deadline checks of a lower-priority task gated
+        // behind it. The DES engine processes those timer cuts without
+        // settling the segment's progress; it must still match the
+        // legacy engine cycle for cycle.
+        let long = resident("long", 100_000, &[8000]);
+        let chatty = resident("chatty", 97, &[1]);
+        let ts = TaskSet::from_tasks(vec![long, chatty]);
+        let p = bare_platform();
+        assert_engines_agree(&ts, &p, &SimConfig::new(cy(100_000), Policy::FixedPriority));
+    }
+
+    #[test]
+    fn deadline_check_precedes_same_instant_release() {
+        // D == T: job k's deadline check and job k+1's release share an
+        // instant, and the check was scheduled first (at job k's
+        // release) — FIFO ordering must process it first. Observable
+        // consequence under SkipNextRelease: the very release sharing
+        // the instant with the miss is the one shed.
+        let t = SporadicTask::new(
+            "a",
+            cy(100),
+            cy(100),
+            vec![Segment::new(cy(150), 0)],
+            StagingMode::Resident,
+        )
+        .expect("valid")
+        .with_miss_policy(MissPolicy::SkipNextRelease);
+        for engine in [Engine::Legacy, Engine::Des] {
+            let r = simulate(
+                &TaskSet::from_tasks(vec![t.clone()]),
+                &bare_platform(),
+                &SimConfig::new(cy(1000), Policy::FixedPriority).with_engine(engine),
+            );
+            let at_100: Vec<&TraceKind> = r
+                .trace
+                .events()
+                .iter()
+                .filter(|e| e.time == cy(100))
+                .map(|e| &e.kind)
+                .collect();
+            let miss = at_100
+                .iter()
+                .position(|k| matches!(k, TraceKind::DeadlineMissed { .. }))
+                .expect("job 0 misses at t=100");
+            let shed = at_100
+                .iter()
+                .position(|k| matches!(k, TraceKind::ReleaseShed { .. }))
+                .expect("release at t=100 is shed by the same-instant miss");
+            assert!(miss < shed, "deadline check must precede the release");
+        }
+    }
+
+    #[test]
+    fn busy_idle_partition_and_stall_bounds_hold_under_both_engines() {
+        let mut p = bare_platform();
+        p.contention = ContentionModel {
+            cpu_inflation_ppm: 700_000,
+            dma_inflation_ppm: 400_000,
+        };
+        let ts = fault_taskset();
+        for engine in [Engine::Legacy, Engine::Des] {
+            let cfg = SimConfig::new(cy(50_000), Policy::FixedPriority)
+                .with_fault(fault_plan(5))
+                .with_engine(engine);
+            let m = simulate(&ts, &p, &cfg).metrics;
+            assert_eq!(m.cpu_busy_cycles + m.cpu_idle_cycles, cy(50_000));
+            assert!(m.cpu_stall_cycles <= m.cpu_busy_cycles);
+            assert!(m.dma_stall_cycles <= m.dma_busy_cycles);
+            assert!(m.dma_busy_cycles <= cy(50_000));
+        }
+    }
+
+    #[test]
+    fn percentile_zero_has_no_witness() {
+        let mut hist = ResponseHist::default();
+        hist.record(cy(30));
+        assert_eq!(hist.percentile_upper(0), None);
+        assert_eq!(ResponseHist::default().percentile_upper(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be at most 100")]
+    fn percentile_above_100_panics() {
+        let mut hist = ResponseHist::default();
+        hist.record(cy(30));
+        let _ = hist.percentile_upper(101);
+    }
+
+    #[test]
+    fn percentile_stays_exact_when_count_saturates() {
+        // Two full buckets: the true total (2·u64::MAX) overflows u64,
+        // so `count()` saturates — but the rank walk is u128 and still
+        // resolves each half to the right bucket top.
+        let mut hist = ResponseHist::default();
+        hist.buckets[3] = u64::MAX; // responses in [8, 16)
+        hist.buckets[10] = u64::MAX; // responses in [1024, 2048)
+        assert_eq!(hist.count(), u64::MAX);
+        assert_eq!(hist.percentile_upper(50), Some(cy(15)));
+        assert_eq!(hist.percentile_upper(51), Some(cy(2047)));
+        assert_eq!(hist.percentile_upper(100), Some(cy(2047)));
     }
 }

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use rt_mdm::mcusim::{Cycles, FaultPlan, PlatformConfig, TraceKind};
 use rt_mdm::obs::{chrome_trace, chrome_trace_json, ChromeTrace, Timeline};
 use rt_mdm::sched::gen::{generate, TasksetParams};
-use rt_mdm::sched::sim::{simulate, Policy, SimConfig, SimResult};
+use rt_mdm::sched::sim::{simulate, Engine, Policy, SimConfig, SimResult};
 use rt_mdm::sched::{Segment, SporadicTask, StagingMode, TaskSet};
 
 fn cy(n: u64) -> Cycles {
@@ -25,6 +25,10 @@ fn cy(n: u64) -> Cycles {
 /// overlapped DNN and a resident control loop — over a 4000-cycle
 /// horizon at WCET, seed 0. Everything here is deterministic.
 fn golden_scenario() -> (SimResult, Vec<String>) {
+    golden_scenario_with(Engine::Des)
+}
+
+fn golden_scenario_with(engine: Engine) -> (SimResult, Vec<String>) {
     let dnn = SporadicTask::new(
         "dnn",
         cy(2000),
@@ -49,6 +53,7 @@ fn golden_scenario() -> (SimResult, Vec<String>) {
         seed: 0,
         work_conserving: false,
         fault: FaultPlan::NONE,
+        engine,
     };
     let result = simulate(&ts, &PlatformConfig::stm32f746_qspi(), &config);
     (result, vec!["ctrl".to_owned(), "dnn".to_owned()])
@@ -66,6 +71,16 @@ fn chrome_export_matches_golden_file() {
          change is intentional, regenerate with \
          `cargo test --test observability -- --ignored bless_golden`"
     );
+}
+
+/// The golden file is engine-independent: the legacy loop reproduces
+/// the exact bytes the discrete-event default is pinned to.
+#[test]
+fn chrome_export_matches_golden_file_under_legacy_engine() {
+    let (result, names) = golden_scenario_with(Engine::Legacy);
+    let json = chrome_trace_json(&result.trace, &names);
+    let golden = include_str!("golden_chrome.json");
+    assert_eq!(json, golden.trim_end());
 }
 
 #[test]
@@ -161,6 +176,7 @@ proptest! {
             seed,
             work_conserving: false,
             fault: FaultPlan::NONE,
+            engine: Engine::Des,
         };
         let result = simulate(&ts, &p, &config);
         check_invariants(&result)?;
@@ -187,6 +203,7 @@ proptest! {
             seed,
             work_conserving: false,
             fault: FaultPlan::NONE,
+            engine: Engine::Des,
         };
         let result = simulate(&ts, &p, &config);
         check_invariants(&result)?;
@@ -213,6 +230,7 @@ proptest! {
             seed,
             work_conserving: false,
             fault: FaultPlan::NONE,
+            engine: Engine::Des,
         };
         let result = simulate(&ts, &p, &config);
         let names: Vec<String> = ts.tasks().iter().map(|t| t.name.clone()).collect();

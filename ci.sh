@@ -70,6 +70,37 @@ cmp "$eng_legacy" "$eng_des" || {
   echo "engine smoke: legacy and des traces diverge" >&2; exit 1; }
 rm -f "$eng_legacy" "$eng_des"
 
+echo "== rtmdm explain smoke =="
+# The forensics path: a pinned miss-producing scenario must attribute
+# cleanly (exit 0, conservation exact), print the blame table, and its
+# --json report must re-validate through the bundled serde_json (the
+# CLI re-parses it before printing). Attribution is opt-in everywhere
+# else: a trace with --attribution off (the default) must be
+# byte-identical to one that never heard of the flag.
+explain_out="$(mktemp)"
+./target/release/rtmdm explain --platform stm32f746-qspi --task kws=ds-cnn@30 \
+  --task ic=resnet8@150 --fault-rate 100000 --seconds 1 > "$explain_out"
+grep -q 'dominant' "$explain_out" || {
+  echo "explain smoke: no blame table in output" >&2; exit 1; }
+grep -q 'conservation: exact' "$explain_out" || {
+  echo "explain smoke: conservation line missing" >&2; exit 1; }
+grep -q '^miss ' "$explain_out" || {
+  echo "explain smoke: scenario produced no miss forensics" >&2; exit 1; }
+explain_json="$(mktemp)"
+./target/release/rtmdm explain --platform stm32f746-qspi --task kws=ds-cnn@30 \
+  --task ic=resnet8@150 --fault-rate 100000 --seconds 1 --json > "$explain_json"
+grep -q '"blame"' "$explain_json" || {
+  echo "explain smoke: --json report missing blame section" >&2; exit 1; }
+attr_off="$(mktemp)"
+attr_default="$(mktemp)"
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --attribution off --out "$attr_off" --format chrome
+./target/release/rtmdm trace --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --seconds 1 --out "$attr_default" --format chrome
+cmp "$attr_off" "$attr_default" || {
+  echo "explain smoke: attribution default is not off" >&2; exit 1; }
+rm -f "$explain_out" "$explain_json" "$attr_off" "$attr_default"
+
 echo "== rtmdm check sweep =="
 # Every zoo model on every platform preset must verify to parseable
 # JSON and a 0/2 exit; the JSON is re-parsed by the CLI itself (it

@@ -51,6 +51,7 @@ fn bench_jittered(c: &mut Criterion) {
         work_conserving: false,
         fault: FaultPlan::NONE,
         engine: Engine::Des,
+        attribution: false,
     };
     c.bench_function("simulator/jittered_4tasks_1s", |b| {
         b.iter(|| simulate(&ts, &p, &config))

@@ -1,0 +1,4 @@
+//! Regenerates experiment `f13_blame` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f13_blame", &rtmdm_bench::experiments::f13_blame());
+}

@@ -14,7 +14,7 @@ use rtmdm_bench::{emit, experiments as e, par, results_dir, telemetry};
 type Experiment = (&'static str, fn() -> String);
 
 fn main() {
-    let experiments: [Experiment; 15] = [
+    let experiments: [Experiment; 16] = [
         ("t1_models", e::t1_models),
         ("t2_platforms", e::t2_platforms),
         ("t3_wcrt", e::t3_wcrt),
@@ -30,6 +30,7 @@ fn main() {
         ("f10_platforms", e::f10_platforms),
         ("f11_robustness", e::f11_robustness),
         ("f12_engine", e::f12_engine),
+        ("f13_blame", e::f13_blame),
     ];
     let registry = rtmdm_obs::metrics::global();
     registry.enable(true);

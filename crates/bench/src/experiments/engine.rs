@@ -152,6 +152,7 @@ fn run(s: &Scenario, engine: Engine) -> SimResult {
             jitter_max_cycles: if s.fault_rate_ppm > 0 { 50 } else { 0 },
         },
         engine,
+        attribution: false,
     };
     simulate(&ts, &s.platform, &config)
 }
@@ -275,6 +276,7 @@ pub fn engine_comparison() -> EngineComparison {
         work_conserving: false,
         fault: FaultPlan::NONE,
         engine,
+        attribution: false,
     };
     let timed_run = |engine: Engine| -> (SimResult, f64) {
         let start = Instant::now();

@@ -1,6 +1,7 @@
 //! Experiment implementations, one per table/figure of `DESIGN.md` §4.
 
 mod ablation;
+mod blame;
 mod blocking;
 mod energy;
 mod engine;
@@ -11,6 +12,7 @@ mod sched_ratio;
 mod tables;
 
 pub use ablation::f8_ablation;
+pub use blame::f13_blame;
 pub use blocking::f6_blocking;
 pub use energy::f9_energy;
 pub use engine::{engine_comparison, f12_engine};

@@ -22,12 +22,15 @@ use serde::{Deserialize, Serialize};
 
 use rtmdm_core::{RtMdm, TaskSpec};
 use rtmdm_dnn::{zoo, CostModel};
-use rtmdm_mcusim::PlatformConfig;
+use rtmdm_mcusim::{Cycles, PlatformConfig};
 use rtmdm_obs::{Registry, Snapshot, Timeline, TimelineSummary};
 use rtmdm_xmem::{pipeline, segment_model, ExecutionStrategy};
 
 /// Version of the `metrics.json` / `BENCH_run_all.json` layout.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added per-task response-time percentiles (`probe.response` in
+/// `metrics.json`, `response` in `BENCH_run_all.json`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Telemetry of one experiment invocation inside `run_all`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -97,6 +100,44 @@ pub struct RunTotals {
     pub sim_cycles: u64,
 }
 
+/// Per-task response-time distribution of the probe scenario.
+///
+/// Percentiles are upper bucket bounds of the simulator's log₂
+/// response histogram
+/// ([`ResponseHist::percentile_upper`](rtmdm_sched::sim::ResponseHist::percentile_upper)):
+/// exact, deterministic, and `None` when the task completed no jobs.
+/// `max_response` is the exact observed maximum.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskResponseSummary {
+    /// Task name.
+    pub task: String,
+    /// Completed jobs the distribution covers.
+    pub completions: u64,
+    /// Upper bound on the median response, in cycles.
+    pub p50_upper: Option<u64>,
+    /// Upper bound on the 95th-percentile response, in cycles.
+    pub p95_upper: Option<u64>,
+    /// Upper bound on the 99th-percentile response, in cycles.
+    pub p99_upper: Option<u64>,
+    /// Exact maximum observed response, in cycles.
+    pub max_response: u64,
+}
+
+impl TaskResponseSummary {
+    /// Extracts the summary of one task from its simulator statistics.
+    pub fn from_stats(name: &str, stats: &rtmdm_sched::sim::TaskStats) -> Self {
+        let pct = |p: u64| stats.response_hist.percentile_upper(p).map(Cycles::get);
+        TaskResponseSummary {
+            task: name.to_owned(),
+            completions: stats.completions,
+            p50_upper: pct(50),
+            p95_upper: pct(95),
+            p99_upper: pct(99),
+            max_response: stats.max_response.get(),
+        }
+    }
+}
+
 /// Deterministic cross-check embedded in `metrics.json`: the same
 /// numbers must come out on every machine and thread count, so a diff
 /// against a previous run flags semantic drift immediately.
@@ -106,6 +147,8 @@ pub struct Probe {
     pub pipeline: Snapshot,
     /// Timeline summary of a fixed two-task scenario (seed 0).
     pub timeline: TimelineSummary,
+    /// Per-task response percentiles of the same fixed scenario.
+    pub response: Vec<TaskResponseSummary>,
 }
 
 /// The full `results/metrics.json` document.
@@ -151,6 +194,9 @@ pub struct BenchSummary {
     pub total_sim_cycles: u64,
     /// DES-versus-legacy engine throughput on the probe scenario.
     pub engine: EngineComparison,
+    /// Per-task response percentiles of the probe scenario
+    /// (deterministic; see [`TaskResponseSummary`]).
+    pub response: Vec<TaskResponseSummary>,
 }
 
 impl RunMetrics {
@@ -193,6 +239,7 @@ impl RunMetrics {
             total_wall_seconds: self.totals.wall_seconds,
             total_sim_cycles: self.totals.sim_cycles,
             engine: self.engine.clone(),
+            response: self.probe.response.clone(),
         }
     }
 }
@@ -223,9 +270,16 @@ pub fn probe() -> Probe {
         .simulate_with(1_000_000, 1_000_000, 0)
         .expect("probe scenario simulates");
     let timeline = Timeline::from_trace(&run.result.trace, run.result.horizon).summary();
+    let response = run
+        .names
+        .iter()
+        .zip(&run.result.stats)
+        .map(|(name, stats)| TaskResponseSummary::from_stats(name, stats))
+        .collect();
     Probe {
         pipeline: reg.snapshot(),
         timeline,
+        response,
     }
 }
 
@@ -260,6 +314,21 @@ mod tests {
             a.timeline.horizon
         );
         assert!(a.pipeline.counter("pipeline.stages") > 0);
+        // Response percentiles: one entry per task, identical across
+        // runs, ordered like the percentiles they approximate.
+        assert_eq!(a.response, b.response);
+        assert_eq!(a.response.len(), 2);
+        assert_eq!(a.response[0].task, "kws");
+        for r in &a.response {
+            assert!(r.completions > 0, "{r:?}");
+            let (p50, p95, p99) = (
+                r.p50_upper.expect("completed"),
+                r.p95_upper.expect("completed"),
+                r.p99_upper.expect("completed"),
+            );
+            assert!(p50 <= p95 && p95 <= p99, "{r:?}");
+            assert!(r.max_response > 0, "{r:?}");
+        }
     }
 
     #[test]
@@ -301,6 +370,9 @@ mod tests {
         assert_eq!(sback.experiments[0].id, "f3_miss_ratio");
         assert!(sback.engine.equivalent);
         assert_eq!(sback.engine.speedup, 2.0);
+        // The summary carries the probe's per-task percentiles.
+        assert_eq!(sback.response, doc.probe.response);
+        assert!(!sback.response.is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! rtmdm simulate --platform stm32f746-qspi --task kws=ds-cnn@100 --seconds 2
 //! rtmdm optimize --platform stm32f746-qspi --task kws=ds-cnn@100 --task ic=resnet8@400
 //! rtmdm trace    --platform stm32f746-qspi --task kws=ds-cnn@100 --out t.json --format chrome
+//! rtmdm explain  --platform stm32f746-qspi --task kws=ds-cnn@100 --seconds 2
 //! rtmdm check    --platform stm32f746-qspi --task kws=ds-cnn@100 --json --deny-warnings
 //! ```
 //!
@@ -22,7 +23,17 @@
 //! that miss their deadline. `--engine legacy|des` picks the
 //! simulator's time-advancement engine; both produce byte-identical
 //! results (the default `des` is faster), so the knob exists for the
-//! equivalence gate and throughput comparisons. The `check` subcommand runs the static
+//! equivalence gate and throughput comparisons. `--attribution on|off`
+//! (default `off`) makes `simulate`/`trace` record the causal anchor
+//! events the attribution layer consumes; the default keeps traces
+//! byte-identical to previous releases. The `explain` subcommand
+//! simulates like `trace` with attribution forced on, then prints the
+//! exact six-term response-time decomposition (`response = compute +
+//! blocking_fetch + preemption + bus_contention + fault_refetch +
+//! dispatch_wait`, conserved cycle-for-cycle): a ranked per-task blame
+//! table, per-task response percentiles, and the dominant interference
+//! source of every missed job; `--json` emits the machine-readable
+//! report instead. The `check` subcommand runs the static
 //! verifier without admitting: `--json` emits the machine-readable
 //! report, `--deny-warnings` escalates warnings to errors, and
 //! `--allow RTM0xx` / `--deny RTM0xx` tune individual rules. Exit
@@ -41,12 +52,12 @@ use rtmdm_sched::MissPolicy;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rtmdm <platforms|models|admit|simulate|optimize|trace|check> \
+        "usage: rtmdm <platforms|models|admit|simulate|optimize|trace|explain|check> \
          [--platform NAME] [--task name=model@period_ms[/deadline_ms][:strategy]]… \
          [--seconds S] [--jitter PCT] [--seed N] [--edf] [--work-conserving] \
          [--fault-rate PPM] [--fault-seed N] [--fault-retries N] [--fault-jitter CYCLES] \
          [--miss-policy continue|abort|skip-next] [--engine legacy|des] \
-         [--out PATH] [--format chrome|jsonl] [--gantt] \
+         [--attribution on|off] [--out PATH] [--format chrome|jsonl] [--gantt] \
          [--json] [--deny-warnings] [--allow RULE] [--deny RULE]"
     );
     ExitCode::from(1)
@@ -212,6 +223,18 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
                     }
                 };
             }
+            "--attribution" => {
+                let v = it.next().ok_or(CliError::Usage)?;
+                options.attribution = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => {
+                        return Err(CliError::Msg(format!(
+                            "unknown --attribution `{v}` (expected `on` or `off`)"
+                        )))
+                    }
+                };
+            }
             "--out" => out = Some(it.next().ok_or(CliError::Usage)?.clone()),
             "--format" => {
                 let f = it.next().ok_or(CliError::Usage)?;
@@ -350,6 +373,160 @@ fn cmd_trace(cli: &Cli, run: &rtmdm_core::RunReport) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Machine-readable payload of `rtmdm explain --json`: the validated
+/// blame report plus the per-task response percentiles. Round-tripped
+/// through the bundled `serde_json` before printing, like the other
+/// JSON outputs.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ExplainJson {
+    percentiles: Vec<TaskPercentiles>,
+    blame: rtmdm_obs::BlameReport,
+}
+
+/// Response-time percentile upper bounds of one task (log₂-bucket tops
+/// from the simulator's `ResponseHist`; `None` when no job completed).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TaskPercentiles {
+    task: String,
+    completions: u64,
+    p50_upper: Option<u64>,
+    p95_upper: Option<u64>,
+    p99_upper: Option<u64>,
+    max: u64,
+}
+
+/// Attribute the finished run and print the blame forensics.
+///
+/// The conservation invariant (terms sum exactly to each job's
+/// response) is validated for every job before anything is printed; a
+/// violation is a bug in the reconstruction or the simulator's anchor
+/// emission and fails the command.
+fn cmd_explain(cli: &Cli, run: &rtmdm_core::RunReport) -> ExitCode {
+    let blame = match rtmdm_obs::attribute(&run.result.trace) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("rtmdm: attribution failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let name =
+        |t: rtmdm_mcusim::TaskId| run.names.get(t.0).cloned().unwrap_or_else(|| t.to_string());
+    let percentiles: Vec<TaskPercentiles> = run
+        .result
+        .stats
+        .iter()
+        .enumerate()
+        .map(|(k, s)| TaskPercentiles {
+            task: name(rtmdm_mcusim::TaskId(k)),
+            completions: s.completions,
+            p50_upper: s.response_hist.percentile_upper(50).map(|c| c.get()),
+            p95_upper: s.response_hist.percentile_upper(95).map(|c| c.get()),
+            p99_upper: s.response_hist.percentile_upper(99).map(|c| c.get()),
+            max: s.max_response.get(),
+        })
+        .collect();
+
+    if cli.json {
+        let payload = ExplainJson { percentiles, blame };
+        let json = serde_json::to_string(&payload).expect("explain report serializes");
+        if let Err(e) = serde_json::from_str::<ExplainJson>(&json) {
+            eprintln!("rtmdm: explain report failed JSON validation: {e:?}");
+            return ExitCode::from(2);
+        }
+        println!("{json}");
+        return ExitCode::SUCCESS;
+    }
+
+    let dominant = |d: Option<(rtmdm_obs::BlameSource, rtmdm_mcusim::Cycles)>| match d {
+        Some((src, c)) => format!("{src} ({c})"),
+        None => "none (compute-bound)".to_owned(),
+    };
+
+    // Blame table: tasks ranked by misses, then by lost (non-compute)
+    // cycles, so the task most in trouble tops the table.
+    let mut ranked: Vec<_> = blame.tasks.iter().collect();
+    ranked.sort_by_key(|(t, b)| {
+        (
+            std::cmp::Reverse(b.misses),
+            std::cmp::Reverse(b.total().saturating_sub(b.compute)),
+            **t,
+        )
+    });
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .map(|(t, b)| {
+            vec![
+                name(**t),
+                b.jobs.to_string(),
+                b.misses.to_string(),
+                b.max_response.to_string(),
+                b.compute.to_string(),
+                b.preemption_total().to_string(),
+                b.blocking_fetch.to_string(),
+                b.bus_contention.to_string(),
+                b.fault_refetch.to_string(),
+                b.dispatch_wait.to_string(),
+                dominant(b.dominant_interference()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &[
+                "task", "jobs", "miss", "max-resp", "compute", "preempt", "blocking", "bus",
+                "refetch", "dispatch", "dominant",
+            ],
+            &rows,
+        )
+    );
+
+    let pct_rows: Vec<Vec<String>> = percentiles
+        .iter()
+        .map(|p| {
+            let cy = |v: Option<u64>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
+            vec![
+                p.task.clone(),
+                p.completions.to_string(),
+                cy(p.p50_upper),
+                cy(p.p95_upper),
+                cy(p.p99_upper),
+                p.max.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &["task", "done", "p50<=", "p95<=", "p99<=", "max"],
+            &pct_rows
+        )
+    );
+
+    let missed = blame.missed_jobs();
+    println!(
+        "jobs attributed: {} ({} missed); conservation: exact",
+        blame.jobs.len(),
+        missed.len()
+    );
+    const MISS_LIMIT: usize = 12;
+    for j in missed.iter().take(MISS_LIMIT) {
+        println!(
+            "miss {} {}: response {} = compute {} + interference {}, dominant {}",
+            name(j.task),
+            j.job,
+            j.response,
+            j.compute,
+            j.response.saturating_sub(j.compute),
+            dominant(j.dominant_interference()),
+        );
+    }
+    if missed.len() > MISS_LIMIT {
+        println!("… and {} more missed jobs", missed.len() - MISS_LIMIT);
+    }
+    ExitCode::SUCCESS
+}
+
 /// Run the static verifier over the spec without admitting it.
 ///
 /// Unlike the other subcommands, `check` does not go through
@@ -410,10 +587,10 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "platforms" => return cmd_platforms(),
         "models" => return cmd_models(),
-        "admit" | "simulate" | "optimize" | "trace" | "check" => {}
+        "admit" | "simulate" | "optimize" | "trace" | "explain" | "check" => {}
         _ => return usage(),
     }
-    let cli = match parse(&args[1..]) {
+    let mut cli = match parse(&args[1..]) {
         Ok(cli) => cli,
         Err(CliError::Usage) => return usage(),
         Err(CliError::Msg(m)) => {
@@ -421,6 +598,10 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    // Forensics need the causal anchors: explain always records them.
+    if cmd == "explain" {
+        cli.options.attribution = true;
+    }
     if cli.tasks.is_empty() {
         eprintln!("rtmdm: at least one --task is required");
         return usage();
@@ -491,6 +672,16 @@ fn main() -> ExitCode {
             let scale_min = 1_000_000 - cli.jitter_pct * 10_000;
             match fw.simulate_with(cli.seconds * 1_000_000, scale_min, cli.seed) {
                 Ok(run) => cmd_trace(&cli, &run),
+                Err(e) => {
+                    eprintln!("rtmdm: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "explain" => {
+            let scale_min = 1_000_000 - cli.jitter_pct * 10_000;
+            match fw.simulate_with(cli.seconds * 1_000_000, scale_min, cli.seed) {
+                Ok(run) => cmd_explain(&cli, &run),
                 Err(e) => {
                     eprintln!("rtmdm: {e}");
                     ExitCode::from(2)

@@ -83,6 +83,13 @@ pub struct FrameworkOptions {
     /// equivalence gate and for throughput comparisons.
     #[serde(default)]
     pub engine: Engine,
+    /// When `true`, simulation traces carry the causal-attribution
+    /// anchor events the blame reconstruction (`rtmdm-obs`) consumes.
+    /// `false` (the default) keeps traces byte-identical to
+    /// pre-attribution output; stats and metrics are unaffected either
+    /// way.
+    #[serde(default)]
+    pub attribution: bool,
 }
 
 impl Default for FrameworkOptions {
@@ -99,6 +106,7 @@ impl Default for FrameworkOptions {
             fault: FaultPlan::NONE,
             miss_policy: MissPolicy::Continue,
             engine: Engine::default(),
+            attribution: false,
         }
     }
 }
@@ -404,6 +412,7 @@ impl RtMdm {
             work_conserving: self.options.work_conserving,
             fault: self.options.fault,
             engine: self.options.engine,
+            attribution: self.options.attribution,
         };
         let result = simulate(&ordered, &self.platform, &config);
         Ok(RunReport {

@@ -155,6 +155,59 @@ pub enum TraceKind {
     /// The CPU left idle (a segment is about to start). Closes the most
     /// recent [`TraceKind::CpuIdle`].
     CpuIdleEnd,
+    /// Attribution anchor: the head job of `task` cannot compute its
+    /// next segment because its weights are not staged yet — the job is
+    /// blocked on the DMA pipeline. Paired with the next
+    /// [`TraceKind::FetchWaitEnded`] of the same job and segment.
+    /// Emitted only when the simulator runs with attribution enabled.
+    FetchWaitBegan {
+        /// Waiting task.
+        task: TaskId,
+        /// Waiting job.
+        job: JobId,
+        /// Segment whose staging the job is blocked on.
+        segment: SegmentId,
+    },
+    /// Attribution anchor: the blocking segment was staged (or the
+    /// waiting job left the system) and the fetch wait opened by the
+    /// matching [`TraceKind::FetchWaitBegan`] is over. Emitted only
+    /// when the simulator runs with attribution enabled.
+    FetchWaitEnded {
+        /// Task that was waiting.
+        task: TaskId,
+        /// Job that was waiting.
+        job: JobId,
+        /// Segment the job was blocked on.
+        segment: SegmentId,
+    },
+    /// Attribution anchor: the segment completing at this instant spent
+    /// `stall` wall cycles of its CPU occupancy losing bus arbitration
+    /// to a concurrent DMA transfer (occupancies are non-preemptive, so
+    /// the stall is exactly wall time minus nominal work). Emitted just
+    /// before the matching [`TraceKind::SegmentCompleted`], only when
+    /// the stall is nonzero and attribution is enabled.
+    SegmentStalled {
+        /// Owning task.
+        task: TaskId,
+        /// Owning job.
+        job: JobId,
+        /// Segment index.
+        segment: SegmentId,
+        /// Wall cycles lost to bus contention within the occupancy.
+        stall: Cycles,
+    },
+    /// Attribution anchor: a previously-started job re-claims the CPU
+    /// after having been preempted, identifying which task ran in
+    /// between (the most recent CPU occupant). Emitted at the resuming
+    /// dispatch, only when attribution is enabled.
+    Resumed {
+        /// Task resuming execution.
+        task: TaskId,
+        /// Resuming job.
+        job: JobId,
+        /// The task that held the CPU before this dispatch.
+        after: TaskId,
+    },
 }
 
 /// A timestamped [`TraceKind`].

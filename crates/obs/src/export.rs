@@ -220,6 +220,43 @@ pub fn chrome_trace(trace: &Trace, task_names: &[String]) -> ChromeTrace {
     }
 }
 
+/// Converts a trace to the Chrome trace-event object with one extra
+/// `cat: "blame"` complete event per attributed span, nested under the
+/// owning task's lane so each job slice decomposes visually into
+/// compute / bus-contention / blocking-fetch / fault-refetch /
+/// preempted-by / dispatch-wait (see [`crate::spans`]).
+///
+/// The base events are exactly those of [`chrome_trace`]; the default
+/// export stays byte-identical when this function is not used.
+pub fn chrome_trace_with_blame(trace: &Trace, task_names: &[String]) -> ChromeTrace {
+    use crate::spans::SpanKind;
+    let mut ct = chrome_trace(trace, task_names);
+    for js in crate::spans::reconstruct(trace) {
+        for span in &js.spans {
+            let name = match span.kind {
+                SpanKind::Compute => "compute".to_owned(),
+                SpanKind::BusContention => "bus-contention".to_owned(),
+                SpanKind::BlockingFetch => "blocking-fetch".to_owned(),
+                SpanKind::FaultRefetch => "fault-refetch".to_owned(),
+                SpanKind::DispatchWait => "dispatch-wait".to_owned(),
+                SpanKind::Preempted { by } => {
+                    format!("preempted by {}", task_label(task_names, by))
+                }
+            };
+            ct.traceEvents.push(ChromeEvent {
+                name,
+                cat: "blame".to_owned(),
+                ph: "X".to_owned(),
+                ts: span.interval.start.get(),
+                dur: span.len().get(),
+                pid: 0,
+                tid: TID_TASK_BASE + js.task.0 as u64,
+            });
+        }
+    }
+    ct
+}
+
 /// Serializes a trace straight to Chrome trace-event JSON text.
 pub fn chrome_trace_json(trace: &Trace, task_names: &[String]) -> String {
     serde_json::to_string(&chrome_trace(trace, task_names))
@@ -455,6 +492,33 @@ mod tests {
         );
         let ct = chrome_trace(&t, &[]);
         assert!(ct.traceEvents.is_empty());
+    }
+
+    #[test]
+    fn blame_spans_nest_under_task_lanes() {
+        let names = vec!["kws".to_owned()];
+        let base = chrome_trace(&sample(), &names);
+        let with = chrome_trace_with_blame(&sample(), &names);
+        // The base events are exactly the default export's.
+        assert_eq!(
+            &with.traceEvents[..base.traceEvents.len()],
+            &base.traceEvents[..]
+        );
+        let blame: Vec<_> = with
+            .traceEvents
+            .iter()
+            .filter(|e| e.cat == "blame")
+            .collect();
+        // Window [0, 70): dispatch-wait [0, 20), compute [20, 70).
+        assert_eq!(blame.len(), 2);
+        assert_eq!(blame[0].name, "dispatch-wait");
+        assert_eq!((blame[0].ts, blame[0].dur), (0, 20));
+        assert_eq!(blame[1].name, "compute");
+        assert_eq!((blame[1].ts, blame[1].dur), (20, 50));
+        assert!(blame.iter().all(|e| e.tid == TID_TASK_BASE && e.ph == "X"));
+        // The attributed spans partition the job slice's window.
+        let total: u64 = blame.iter().map(|e| e.dur).sum();
+        assert_eq!(total, 70);
     }
 
     #[test]

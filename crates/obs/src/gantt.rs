@@ -2,8 +2,11 @@
 //!
 //! One row per task (`#` = computing), one aggregate CPU row, and one
 //! DMA row (`=` = streaming), all over the same `[0, horizon)` axis so
-//! stalls and overlap line up visually. Intended for terminals and
-//! docs, not for parsing.
+//! stalls and overlap line up visually. Instant markers overlay the
+//! rows: `!` on the DMA row where an injected transfer fault forced a
+//! retry, `x` on a task row where the `Abort` miss policy dropped a
+//! job, and `s` where `SkipNextRelease` shed a release. Intended for
+//! terminals and docs, not for parsing.
 
 use std::fmt::Write as _;
 
@@ -70,6 +73,7 @@ pub fn render(timeline: &Timeline, width: usize, task_names: &[String]) -> Strin
     labels.push("CPU".to_owned());
     rows.push(cpu);
 
+    let mut task_row = std::collections::BTreeMap::new();
     for &task in timeline.tasks().keys() {
         let mut row = vec!['.'; width];
         for s in timeline.segments().iter().filter(|s| s.task == task) {
@@ -80,12 +84,28 @@ pub fn render(timeline: &Timeline, width: usize, task_names: &[String]) -> Strin
             .cloned()
             .unwrap_or_else(|| task.to_string());
         labels.push(label);
+        task_row.insert(task, rows.len());
         rows.push(row);
+    }
+
+    // Miss-policy markers overlay the owning task's row — they mark
+    // instants, so they win over segment fill.
+    for (markers, glyph) in [(timeline.aborts(), 'x'), (timeline.sheds(), 's')] {
+        for &(time, task) in markers {
+            if let Some(&r) = task_row.get(&task) {
+                rows[r][col(time)] = glyph;
+            }
+        }
     }
 
     let mut dma = vec!['.'; width];
     for iv in timeline.dma_intervals() {
         paint(&mut dma, iv.start, iv.end, '=');
+    }
+    // Fault markers overlay the DMA row: each `!` is a transfer the
+    // fault injector forced to retry.
+    for &(time, _) in timeline.faults() {
+        dma[col(time)] = '!';
     }
     labels.push("DMA".to_owned());
     rows.push(dma);
@@ -186,6 +206,85 @@ mod tests {
             .find(|l| l.trim_start().starts_with("T0"))
             .expect("row");
         assert!(t0_row.contains("|#...|"), "{chart}");
+    }
+
+    #[test]
+    fn fault_abort_and_shed_markers_pin_their_columns() {
+        let mut t = Trace::new();
+        let (t0, j0, s0) = (TaskId(0), JobId(0), SegmentId(0));
+        t.push(
+            cy(0),
+            TraceKind::SegmentStarted {
+                task: t0,
+                job: j0,
+                segment: s0,
+            },
+        );
+        t.push(
+            cy(30),
+            TraceKind::SegmentCompleted {
+                task: t0,
+                job: j0,
+                segment: s0,
+            },
+        );
+        t.push(
+            cy(40),
+            TraceKind::FetchStarted {
+                task: t0,
+                job: JobId(1),
+                segment: s0,
+                bytes: 64,
+            },
+        );
+        t.push(
+            cy(45),
+            TraceKind::FetchFaulted {
+                task: t0,
+                job: JobId(1),
+                segment: s0,
+                attempt: 0,
+            },
+        );
+        t.push(
+            cy(45),
+            TraceKind::FetchStarted {
+                task: t0,
+                job: JobId(1),
+                segment: s0,
+                bytes: 64,
+            },
+        );
+        t.push(
+            cy(60),
+            TraceKind::FetchCompleted {
+                task: t0,
+                job: JobId(1),
+                segment: s0,
+            },
+        );
+        t.push(cy(70), TraceKind::JobAborted { task: t0, job: j0 });
+        t.push(
+            cy(90),
+            TraceKind::ReleaseShed {
+                task: t0,
+                job: JobId(2),
+            },
+        );
+        let tl = Timeline::from_trace(&t, cy(100));
+        let chart = render(&tl, 10, &[]);
+        let row = |prefix: &str| {
+            chart
+                .lines()
+                .find(|l| l.trim_start().starts_with(prefix))
+                .unwrap_or_else(|| panic!("missing {prefix} row in {chart}"))
+        };
+        // Segment [0,30) fills columns 0–2; abort at 70 → column 7;
+        // shed at 90 → column 9.
+        assert!(row("T0").contains("|###....x.s|"), "{chart}");
+        // Fetch [40,60) fills columns 4–5; the fault at 45 overlays
+        // column 4.
+        assert!(row("DMA").contains("|....!=....|"), "{chart}");
     }
 
     #[test]

@@ -17,7 +17,14 @@
 //! - [`gantt`] — an ASCII Gantt renderer over a timeline (the `rtmdm
 //!   trace --gantt` output);
 //! - [`export`] — serializers to Chrome trace-event JSON (loadable in
-//!   Perfetto / `chrome://tracing`) and JSONL.
+//!   Perfetto / `chrome://tracing`) and JSONL;
+//! - [`spans`] — exact causal partition of each completed job's
+//!   response window (compute, bus contention, blocking fetch, fault
+//!   re-fetch, preemption, dispatch wait);
+//! - [`blame`] — the six-term response-time decomposition built on
+//!   those spans, validated job-by-job against the hard conservation
+//!   invariant `response = Σ terms` (zero tolerance) — the engine
+//!   behind `rtmdm explain`.
 //!
 //! Everything here is integer-exact and deterministic: derived metrics
 //! are pure functions of the trace, and registry totals are sums, so
@@ -26,11 +33,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blame;
 pub mod export;
 pub mod gantt;
 pub mod metrics;
+pub mod spans;
 pub mod timeline;
 
-pub use export::{chrome_trace, chrome_trace_json, jsonl, ChromeEvent, ChromeTrace};
+pub use blame::{attribute, BlameReport, BlameSource, ConservationError, JobBlame, TaskBlame};
+pub use export::{
+    chrome_trace, chrome_trace_json, chrome_trace_with_blame, jsonl, ChromeEvent, ChromeTrace,
+};
 pub use metrics::{global, GlobalRegistry, Histogram, Registry, Snapshot, HISTOGRAM_BUCKETS};
+pub use spans::{reconstruct, JobSpans, Span, SpanKind};
 pub use timeline::{FetchSlice, Interval, SegmentSlice, TaskTimeline, Timeline, TimelineSummary};

@@ -1,0 +1,654 @@
+//! Causal span reconstruction: partitioning each completed job's
+//! response window into attributed intervals.
+//!
+//! [`reconstruct`] replays one [`Trace`] and, for every completed job,
+//! partitions the half-open response window `[release, completion)`
+//! into disjoint [`Span`]s whose kinds explain where the cycles went.
+//! The partition is exact and exhaustive by construction — the span
+//! lengths of a job sum to its measured response time, cycle for cycle
+//! — which is what lets [`crate::blame`] enforce its conservation
+//! invariant with zero tolerance.
+//!
+//! The precedence rule, applied within each job's window:
+//!
+//! 1. the job's **own segment slices** become [`SpanKind::Compute`],
+//!    with the tail `stall` cycles reported by
+//!    [`TraceKind::SegmentStalled`] carved off as
+//!    [`SpanKind::BusContention`] (occupancies are non-preemptive, so
+//!    the stall total is exact; drawing it at the slice tail is a
+//!    visualization choice — the per-kind totals do not depend on it);
+//! 2. **other jobs' slices** clipped to the window become
+//!    [`SpanKind::Preempted`] naming the occupant (the CPU is unique,
+//!    so slices never overlap; earlier jobs of the same task count too,
+//!    as happens under the `Continue` deadline-miss policy);
+//! 3. the job's **fetch-wait intervals**
+//!    ([`TraceKind::FetchWaitBegan`]/[`TraceKind::FetchWaitEnded`])
+//!    minus the time already attributed above, split by the job's own
+//!    fault episodes (first [`TraceKind::FetchFaulted`] to the next
+//!    [`TraceKind::FetchCompleted`] of the same transfer) into
+//!    [`SpanKind::FaultRefetch`] and [`SpanKind::BlockingFetch`];
+//! 4. whatever remains is [`SpanKind::DispatchWait`] — ready but
+//!    neither running, preempted, nor provably blocked on the DMA
+//!    pipeline (priority gating, queueing, release phasing).
+//!
+//! Traces recorded **without** attribution anchors (the simulator's
+//! `attribution` flag off, the default) still reconstruct exactly:
+//! steps 1–2 and 4 need only the base events, so the decomposition
+//! degenerates to compute + preemption + dispatch-wait with the fetch
+//! and contention terms at zero. Aborted jobs never complete and have
+//! no response time, so they carry no spans (their slices still show up
+//! as preemption inside other jobs' windows).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use rtmdm_mcusim::{Cycles, JobId, SegmentId, TaskId, Trace, TraceKind};
+
+use crate::timeline::Interval;
+
+/// Why a span of a job's response window elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// The job's own segment was computing (nominal work plus context
+    /// switch).
+    Compute,
+    /// The job's own segment held the CPU but the cycles were lost to
+    /// bus arbitration against a concurrent DMA transfer.
+    BusContention,
+    /// The job was blocked because its next segment's weights were not
+    /// staged yet — the fetch pipeline failed to hide the transfer.
+    BlockingFetch,
+    /// Blocked-on-fetch time spent re-transferring after an injected
+    /// DMA fault (a sub-case of blocking carved out separately).
+    FaultRefetch,
+    /// Another job held the CPU.
+    Preempted {
+        /// The task whose job occupied the CPU.
+        by: TaskId,
+    },
+    /// Ready but neither running, preempted, nor provably blocked on
+    /// the DMA pipeline: dispatcher gating, queueing, release phasing.
+    DispatchWait,
+}
+
+/// One attributed interval of a job's response window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Attributed cause.
+    pub kind: SpanKind,
+    /// The half-open interval `[start, end)` the cause covers.
+    pub interval: Interval,
+}
+
+impl Span {
+    /// Length of the span.
+    pub fn len(&self) -> Cycles {
+        self.interval.len()
+    }
+
+    /// Whether the span is empty (never produced by [`reconstruct`]).
+    pub fn is_empty(&self) -> bool {
+        self.interval.is_empty()
+    }
+}
+
+/// The exact span partition of one completed job's response window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpans {
+    /// Owning task.
+    pub task: TaskId,
+    /// Job index.
+    pub job: JobId,
+    /// Release instant (start of the window).
+    pub release: Cycles,
+    /// Measured response time (window length).
+    pub response: Cycles,
+    /// Whether the job missed its deadline.
+    pub missed: bool,
+    /// Disjoint spans covering `[release, release + response)` exactly,
+    /// sorted by start.
+    pub spans: Vec<Span>,
+}
+
+impl JobSpans {
+    /// Completion instant (end of the window).
+    pub fn completion(&self) -> Cycles {
+        self.release + self.response
+    }
+
+    /// Total attributed cycles — equal to `response` by construction.
+    pub fn attributed(&self) -> Cycles {
+        self.spans.iter().map(Span::len).sum()
+    }
+}
+
+/// One CPU occupancy extracted from the trace.
+struct Slice {
+    start: Cycles,
+    end: Cycles,
+    task: TaskId,
+    job: JobId,
+    /// Tail cycles lost to bus contention (zero without attribution).
+    stall: Cycles,
+}
+
+/// Reconstructs the exact span partition of every completed job in
+/// `trace`, in completion order.
+///
+/// See the module docs for the partition rule. The returned partitions
+/// satisfy `attributed() == response` for every job, exactly.
+pub fn reconstruct(trace: &Trace) -> Vec<JobSpans> {
+    let mut slices: Vec<Slice> = Vec::new();
+    let mut open_seg: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
+    let mut stalls: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
+    let mut waits: BTreeMap<(TaskId, JobId), Vec<Interval>> = BTreeMap::new();
+    let mut open_wait: BTreeMap<(TaskId, JobId), Cycles> = BTreeMap::new();
+    let mut episodes: BTreeMap<(TaskId, JobId), Vec<Interval>> = BTreeMap::new();
+    let mut open_episode: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
+    let mut missed: BTreeSet<(TaskId, JobId)> = BTreeSet::new();
+    let mut completed: Vec<(TaskId, JobId, Cycles, Cycles)> = Vec::new();
+
+    for e in trace.events() {
+        match e.kind {
+            TraceKind::SegmentStarted { task, job, segment } => {
+                open_seg.insert((task, job, segment), e.time);
+            }
+            TraceKind::SegmentStalled {
+                task,
+                job,
+                segment,
+                stall,
+            } => {
+                stalls.insert((task, job, segment), stall);
+            }
+            TraceKind::SegmentCompleted { task, job, segment } => {
+                if let Some(start) = open_seg.remove(&(task, job, segment)) {
+                    let stall = stalls
+                        .remove(&(task, job, segment))
+                        .unwrap_or(Cycles::ZERO)
+                        .min(e.time.saturating_sub(start));
+                    slices.push(Slice {
+                        start,
+                        end: e.time,
+                        task,
+                        job,
+                        stall,
+                    });
+                }
+            }
+            TraceKind::FetchWaitBegan { task, job, .. } => {
+                open_wait.insert((task, job), e.time);
+            }
+            TraceKind::FetchWaitEnded { task, job, .. } => {
+                if let Some(start) = open_wait.remove(&(task, job)) {
+                    if start < e.time {
+                        waits
+                            .entry((task, job))
+                            .or_default()
+                            .push(Interval { start, end: e.time });
+                    }
+                }
+            }
+            TraceKind::FetchFaulted {
+                task, job, segment, ..
+            } => {
+                // Episode opens at the first fault of the transfer and
+                // closes at its eventual successful completion; retries
+                // in between extend the same episode.
+                open_episode.entry((task, job, segment)).or_insert(e.time);
+            }
+            TraceKind::FetchCompleted { task, job, segment } => {
+                if let Some(start) = open_episode.remove(&(task, job, segment)) {
+                    if start < e.time {
+                        episodes
+                            .entry((task, job))
+                            .or_default()
+                            .push(Interval { start, end: e.time });
+                    }
+                }
+            }
+            TraceKind::DeadlineMissed { task, job } => {
+                missed.insert((task, job));
+            }
+            TraceKind::JobCompleted {
+                task,
+                job,
+                response,
+            } => {
+                completed.push((task, job, e.time, response));
+            }
+            _ => {}
+        }
+    }
+    // The CPU is unique and occupancies retire in order, so slices are
+    // globally disjoint and already sorted by start == sorted by end.
+    slices.sort_by_key(|s| s.start);
+
+    let mut out = Vec::with_capacity(completed.len());
+    for (task, job, completion, response) in completed {
+        let release = completion.saturating_sub(response);
+        let window = Interval {
+            start: release,
+            end: completion,
+        };
+
+        // Steps 1–2: every CPU occupancy intersecting the window.
+        let mut spans: Vec<Span> = Vec::new();
+        let mut covered: Vec<Interval> = Vec::new();
+        let first = slices.partition_point(|s| s.end <= window.start);
+        for s in &slices[first..] {
+            if s.start >= window.end {
+                break;
+            }
+            let clipped = Interval {
+                start: s.start.max(window.start),
+                end: s.end.min(window.end),
+            };
+            if clipped.is_empty() {
+                continue;
+            }
+            covered.push(clipped);
+            if (s.task, s.job) == (task, job) {
+                // Stall drawn at the slice tail; clip against the
+                // window the same way the slice was.
+                let split = s
+                    .end
+                    .saturating_sub(s.stall)
+                    .clamp(clipped.start, clipped.end);
+                push_span(&mut spans, SpanKind::Compute, clipped.start, split);
+                push_span(&mut spans, SpanKind::BusContention, split, clipped.end);
+            } else {
+                push_span(
+                    &mut spans,
+                    SpanKind::Preempted { by: s.task },
+                    clipped.start,
+                    clipped.end,
+                );
+            }
+        }
+
+        // Step 3: uncovered fetch-wait time, split by fault episodes.
+        let gaps = subtract(&[window], &covered);
+        let wait = intersect(
+            waits.get(&(task, job)).map_or(&[][..], Vec::as_slice),
+            &gaps,
+        );
+        let fault = intersect(
+            &wait,
+            episodes.get(&(task, job)).map_or(&[][..], Vec::as_slice),
+        );
+        let blocking = subtract(&wait, &fault);
+        for iv in &fault {
+            push_span(&mut spans, SpanKind::FaultRefetch, iv.start, iv.end);
+        }
+        for iv in &blocking {
+            push_span(&mut spans, SpanKind::BlockingFetch, iv.start, iv.end);
+        }
+
+        // Step 4: the remainder.
+        for iv in subtract(&gaps, &wait) {
+            push_span(&mut spans, SpanKind::DispatchWait, iv.start, iv.end);
+        }
+
+        spans.sort_by_key(|s| (s.interval.start, s.interval.end));
+        out.push(JobSpans {
+            task,
+            job,
+            release,
+            response,
+            missed: missed.contains(&(task, job)),
+            spans,
+        });
+    }
+    out
+}
+
+fn push_span(spans: &mut Vec<Span>, kind: SpanKind, start: Cycles, end: Cycles) {
+    if start < end {
+        spans.push(Span {
+            kind,
+            interval: Interval { start, end },
+        });
+    }
+}
+
+/// `base − cut` for disjoint ascending interval lists (cut need not be
+/// sorted relative to base gaps; both must be internally disjoint and
+/// ascending).
+fn subtract(base: &[Interval], cut: &[Interval]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for b in base {
+        let mut cursor = b.start;
+        while j < cut.len() && cut[j].end <= cursor {
+            j += 1;
+        }
+        let mut k = j;
+        while k < cut.len() && cut[k].start < b.end {
+            if cut[k].start > cursor {
+                out.push(Interval {
+                    start: cursor,
+                    end: cut[k].start.min(b.end),
+                });
+            }
+            cursor = cursor.max(cut[k].end);
+            k += 1;
+        }
+        if cursor < b.end {
+            out.push(Interval {
+                start: cursor,
+                end: b.end,
+            });
+        }
+    }
+    out.retain(|iv| !iv.is_empty());
+    out
+}
+
+/// `a ∩ b` for disjoint ascending interval lists (two-pointer sweep).
+fn intersect(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let start = a[i].start.max(b[j].start);
+        let end = a[i].end.min(b[j].end);
+        if start < end {
+            out.push(Interval { start, end });
+        }
+        if a[i].end <= b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval {
+            start: cy(s),
+            end: cy(e),
+        }
+    }
+
+    #[test]
+    fn subtract_carves_gaps() {
+        assert_eq!(
+            subtract(&[iv(0, 100)], &[iv(10, 20), iv(40, 60)]),
+            vec![iv(0, 10), iv(20, 40), iv(60, 100)]
+        );
+        assert_eq!(subtract(&[iv(0, 10)], &[iv(0, 10)]), vec![]);
+        assert_eq!(subtract(&[iv(5, 10)], &[]), vec![iv(5, 10)]);
+        // Cut spilling over both edges.
+        assert_eq!(subtract(&[iv(10, 20)], &[iv(0, 15)]), vec![iv(15, 20)]);
+        // Multiple base intervals against one long cut.
+        assert_eq!(
+            subtract(&[iv(0, 10), iv(20, 30)], &[iv(5, 25)]),
+            vec![iv(0, 5), iv(25, 30)]
+        );
+    }
+
+    #[test]
+    fn intersect_is_exact() {
+        assert_eq!(
+            intersect(&[iv(0, 10), iv(20, 30)], &[iv(5, 25)]),
+            vec![iv(5, 10), iv(20, 25)]
+        );
+        assert_eq!(intersect(&[iv(0, 10)], &[iv(10, 20)]), vec![]);
+    }
+
+    /// A hand-built trace exercising all six kinds:
+    /// release at 0; fetch wait [0, 30) with a fault episode [10, 30);
+    /// preemption by T1 during [30, 50); own segment [50, 100) with a
+    /// 10-cycle tail stall; dispatch wait [100, 110); final segment
+    /// [110, 120); completion at 120.
+    fn full_trace() -> Trace {
+        let mut t = Trace::new();
+        let (t0, t1, j0) = (TaskId(0), TaskId(1), JobId(0));
+        t.push(
+            cy(0),
+            TraceKind::JobReleased {
+                task: t0,
+                job: j0,
+                deadline: cy(90),
+            },
+        );
+        t.push(
+            cy(0),
+            TraceKind::FetchWaitBegan {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(10),
+            TraceKind::FetchFaulted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+                attempt: 0,
+            },
+        );
+        t.push(
+            cy(30),
+            TraceKind::FetchCompleted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(30),
+            TraceKind::FetchWaitEnded {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(30),
+            TraceKind::SegmentStarted {
+                task: t1,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(50),
+            TraceKind::SegmentCompleted {
+                task: t1,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(50),
+            TraceKind::SegmentStarted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(cy(90), TraceKind::DeadlineMissed { task: t0, job: j0 });
+        t.push(
+            cy(100),
+            TraceKind::SegmentStalled {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+                stall: cy(10),
+            },
+        );
+        t.push(
+            cy(100),
+            TraceKind::SegmentCompleted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn all_six_kinds_partition_the_window() {
+        let mut t = full_trace();
+        // Trailing dispatch wait, then the last segment and completion.
+        let (t0, j0) = (TaskId(0), JobId(0));
+        t.push(
+            cy(110),
+            TraceKind::SegmentStarted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(1),
+            },
+        );
+        t.push(
+            cy(120),
+            TraceKind::SegmentCompleted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(1),
+            },
+        );
+        t.push(
+            cy(120),
+            TraceKind::JobCompleted {
+                task: t0,
+                job: j0,
+                response: cy(120),
+            },
+        );
+        let all = reconstruct(&t);
+        assert_eq!(all.len(), 1);
+        let js = &all[0];
+        assert!(js.missed);
+        assert_eq!(js.release, cy(0));
+        assert_eq!(js.attributed(), cy(120));
+        assert_eq!(
+            js.spans,
+            vec![
+                Span {
+                    kind: SpanKind::BlockingFetch,
+                    interval: iv(0, 10)
+                },
+                Span {
+                    kind: SpanKind::FaultRefetch,
+                    interval: iv(10, 30)
+                },
+                Span {
+                    kind: SpanKind::Preempted { by: TaskId(1) },
+                    interval: iv(30, 50)
+                },
+                Span {
+                    kind: SpanKind::Compute,
+                    interval: iv(50, 90)
+                },
+                Span {
+                    kind: SpanKind::BusContention,
+                    interval: iv(90, 100)
+                },
+                Span {
+                    kind: SpanKind::DispatchWait,
+                    interval: iv(100, 110)
+                },
+                Span {
+                    kind: SpanKind::Compute,
+                    interval: iv(110, 120)
+                },
+            ]
+        );
+    }
+
+    /// The deadline-miss event must not mark other jobs of the task.
+    #[test]
+    fn miss_flag_is_per_job() {
+        let mut t = Trace::new();
+        let (t0, j0, j1) = (TaskId(0), JobId(0), JobId(1));
+        t.push(cy(90), TraceKind::DeadlineMissed { task: t0, job: j0 });
+        t.push(
+            cy(100),
+            TraceKind::JobCompleted {
+                task: t0,
+                job: j0,
+                response: cy(100),
+            },
+        );
+        t.push(
+            cy(150),
+            TraceKind::JobCompleted {
+                task: t0,
+                job: j1,
+                response: cy(50),
+            },
+        );
+        let all = reconstruct(&t);
+        assert!(all[0].missed);
+        assert!(!all[1].missed);
+    }
+
+    /// Without attribution anchors the decomposition degenerates to
+    /// compute + preemption + dispatch-wait and still sums exactly.
+    #[test]
+    fn base_events_alone_reconstruct_exactly() {
+        let mut t = Trace::new();
+        let (t0, j0) = (TaskId(0), JobId(0));
+        t.push(
+            cy(0),
+            TraceKind::JobReleased {
+                task: t0,
+                job: j0,
+                deadline: cy(200),
+            },
+        );
+        t.push(
+            cy(20),
+            TraceKind::SegmentStarted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(60),
+            TraceKind::SegmentCompleted {
+                task: t0,
+                job: j0,
+                segment: SegmentId(0),
+            },
+        );
+        t.push(
+            cy(60),
+            TraceKind::JobCompleted {
+                task: t0,
+                job: j0,
+                response: cy(60),
+            },
+        );
+        let all = reconstruct(&t);
+        assert_eq!(
+            all[0].spans,
+            vec![
+                Span {
+                    kind: SpanKind::DispatchWait,
+                    interval: iv(0, 20)
+                },
+                Span {
+                    kind: SpanKind::Compute,
+                    interval: iv(20, 60)
+                },
+            ]
+        );
+        assert_eq!(all[0].attributed(), cy(60));
+    }
+}

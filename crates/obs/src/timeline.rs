@@ -142,6 +142,10 @@ pub struct Timeline {
     dma_busy: Cycles,
     overlap: Cycles,
     tasks: BTreeMap<TaskId, TaskTimeline>,
+    traced_idle: Vec<Interval>,
+    faults: Vec<(Cycles, TaskId)>,
+    aborts: Vec<(Cycles, TaskId)>,
+    sheds: Vec<(Cycles, TaskId)>,
 }
 
 impl Timeline {
@@ -157,6 +161,11 @@ impl Timeline {
         let mut tasks: BTreeMap<TaskId, TaskTimeline> = BTreeMap::new();
         let mut open_seg: BTreeMap<(TaskId, JobId, SegmentId), Cycles> = BTreeMap::new();
         let mut open_fetch: BTreeMap<(TaskId, JobId, SegmentId), (Cycles, u64)> = BTreeMap::new();
+        let mut traced_idle = Vec::new();
+        let mut open_idle: Option<Cycles> = None;
+        let mut faults = Vec::new();
+        let mut aborts = Vec::new();
+        let mut sheds = Vec::new();
 
         for e in trace.events() {
             let time = e.time.min(horizon);
@@ -209,7 +218,38 @@ impl Timeline {
                 TraceKind::Preempted { task, .. } => {
                     tasks.entry(task).or_default().preemptions += 1;
                 }
+                TraceKind::CpuIdle => {
+                    // Duplicate opens keep the earliest start.
+                    open_idle.get_or_insert(time);
+                }
+                TraceKind::CpuIdleEnd => {
+                    if let Some(start) = open_idle.take() {
+                        if start < time {
+                            traced_idle.push(Interval { start, end: time });
+                        }
+                    }
+                }
+                TraceKind::FetchFaulted { task, .. } => {
+                    faults.push((time, task));
+                }
+                TraceKind::JobAborted { task, .. } => {
+                    aborts.push((time, task));
+                }
+                TraceKind::ReleaseShed { task, .. } => {
+                    sheds.push((time, task));
+                }
                 _ => {}
+            }
+        }
+        // A trace that ends mid-idle has no paired `CpuIdleEnd`:
+        // synthesize the closing cut at the horizon so traced idle
+        // still complements CPU busy exactly.
+        if let Some(start) = open_idle {
+            if start < horizon {
+                traced_idle.push(Interval {
+                    start,
+                    end: horizon,
+                });
             }
         }
         // Clamp whatever the horizon cut off mid-flight.
@@ -271,6 +311,10 @@ impl Timeline {
             dma_busy,
             overlap,
             tasks,
+            traced_idle,
+            faults,
+            aborts,
+            sheds,
         }
     }
 
@@ -345,6 +389,41 @@ impl Timeline {
         }
         out.retain(|iv| !iv.is_empty());
         out
+    }
+
+    /// CPU idle periods as the simulator recorded them
+    /// ([`TraceKind::CpuIdle`]/[`TraceKind::CpuIdleEnd`] pairs), with
+    /// an idle period still open when the trace ends closed at the
+    /// horizon. On a trace whose idle events are complete these
+    /// complement [`Timeline::cpu_intervals`], so
+    /// `cpu_busy + traced_idle_cycles == horizon` holds even when the
+    /// horizon lands mid-idle.
+    pub fn traced_idle_intervals(&self) -> &[Interval] {
+        &self.traced_idle
+    }
+
+    /// Total recorded idle cycles (sum of
+    /// [`Timeline::traced_idle_intervals`]).
+    pub fn traced_idle_cycles(&self) -> Cycles {
+        total(&self.traced_idle)
+    }
+
+    /// Injected DMA fault instants with the task whose transfer
+    /// faulted, in trace order.
+    pub fn faults(&self) -> &[(Cycles, TaskId)] {
+        &self.faults
+    }
+
+    /// Job-abort instants (the `Abort` deadline-miss policy), in trace
+    /// order.
+    pub fn aborts(&self) -> &[(Cycles, TaskId)] {
+        &self.aborts
+    }
+
+    /// Shed-release instants (the `SkipNextRelease` deadline-miss
+    /// policy), in trace order.
+    pub fn sheds(&self) -> &[(Cycles, TaskId)] {
+        &self.sheds
     }
 
     /// `cpu_busy / horizon` in parts per million (0 for a zero horizon).
@@ -578,6 +657,73 @@ mod tests {
         );
         let zero = Timeline::from_trace(&Trace::new(), Cycles::ZERO);
         assert_eq!(zero.cpu_utilization_ppm(), 0);
+    }
+
+    #[test]
+    fn open_idle_at_horizon_closes_exactly() {
+        // Regression: the simulator stops emitting at the horizon, so a
+        // trace can end with an open `CpuIdle`. The timeline must
+        // synthesize the closing cut so busy and traced idle still
+        // partition the horizon.
+        let mut t = Trace::new();
+        t.push(cy(0), TraceKind::CpuIdle);
+        t.push(cy(10), TraceKind::CpuIdleEnd);
+        push_seg(&mut t, seg(0, 0, 0), 10, 40);
+        t.push(cy(40), TraceKind::CpuIdle); // never closed: horizon mid-idle
+        let tl = Timeline::from_trace(&t, cy(100));
+        assert_eq!(
+            tl.traced_idle_intervals(),
+            &[
+                Interval {
+                    start: cy(0),
+                    end: cy(10)
+                },
+                Interval {
+                    start: cy(40),
+                    end: cy(100)
+                },
+            ]
+        );
+        assert_eq!(tl.traced_idle_cycles(), cy(70));
+        assert_eq!(tl.cpu_busy() + tl.traced_idle_cycles(), tl.horizon());
+        assert_eq!(tl.cpu_busy() + tl.cpu_idle(), tl.horizon());
+        // An idle period opening at or beyond the horizon is dropped.
+        let mut u = Trace::new();
+        u.push(cy(100), TraceKind::CpuIdle);
+        let ul = Timeline::from_trace(&u, cy(100));
+        assert!(ul.traced_idle_intervals().is_empty());
+    }
+
+    #[test]
+    fn fault_abort_and_shed_markers_are_collected() {
+        let mut t = Trace::new();
+        t.push(
+            cy(5),
+            TraceKind::FetchFaulted {
+                task: TaskId(0),
+                job: JobId(0),
+                segment: SegmentId(0),
+                attempt: 0,
+            },
+        );
+        t.push(
+            cy(20),
+            TraceKind::JobAborted {
+                task: TaskId(1),
+                job: JobId(0),
+            },
+        );
+        t.push(
+            cy(30),
+            TraceKind::ReleaseShed {
+                task: TaskId(1),
+                job: JobId(1),
+            },
+        );
+        let tl = Timeline::from_trace(&t, cy(100));
+        assert_eq!(tl.faults(), &[(cy(5), TaskId(0))]);
+        assert_eq!(tl.aborts(), &[(cy(20), TaskId(1))]);
+        assert_eq!(tl.sheds(), &[(cy(30), TaskId(1))]);
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn sync_simulation_accepts(
         work_conserving,
         fault: rtmdm_mcusim::FaultPlan::NONE,
         engine: crate::sim::Engine::default(),
+        attribution: false,
     };
     let run = simulate(ts, platform, &config);
     Some(run.no_misses())

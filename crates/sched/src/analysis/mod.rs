@@ -20,8 +20,8 @@ mod wcet;
 pub use edf::edf_demand_test;
 pub use exact::{hyperperiod, sync_simulation_accepts};
 pub use rta::{
-    rta_limited_preemption, rta_limited_preemption_with, rta_memory_oblivious, AnalysisOutcome,
-    SchedulerMode,
+    interference_bounds, rta_limited_preemption, rta_limited_preemption_with, rta_memory_oblivious,
+    AnalysisOutcome, InterferenceBound, SchedulerMode,
 };
 pub use sensitivity::{critical_scaling_ppm, scaled_taskset};
 pub use util::{occupancy_utilization_ppm, rm_utilization_bound_ppm, rm_utilization_test};

@@ -173,6 +173,91 @@ pub fn rta_limited_preemption_with(
     }
 }
 
+/// Analysis-side decomposition of one task's converged response-time
+/// bound — the per-cause totals behind the fixed point
+/// `R = B_i + P_i + I_i`.
+///
+/// This is the analytical mirror of the measured blame decomposition
+/// (`rtmdm explain`): `blocking` upper-bounds the lower-priority share
+/// of measured preemption, `interference` upper-bounds the
+/// higher-priority share plus any gated dispatch wait charged to
+/// higher-priority DMA traffic, and `pipeline` upper-bounds the job's
+/// own compute + contention + blocking-fetch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterferenceBound {
+    /// Lower-priority non-preemptive segment blocking `B_i`.
+    pub blocking: Cycles,
+    /// The task's own isolated pipeline latency `P_i`.
+    pub pipeline: Cycles,
+    /// Higher-priority occupancy at the converged response,
+    /// `Σ_{j<i} ⌈(R + J_j)/T_j⌉ · occ_j`.
+    pub interference: Cycles,
+    /// The converged bound `R = blocking + pipeline + interference`.
+    pub response: Cycles,
+}
+
+/// Per-task decomposition of the [`rta_limited_preemption_with`] bounds
+/// into their blocking / pipeline / interference terms.
+///
+/// Entry `i` is `None` exactly when the fixed point for task `i`
+/// diverged (the same tasks whose [`AnalysisOutcome::response`] entry is
+/// `None`). For converged tasks the identity
+/// `response == blocking + pipeline + interference` holds exactly.
+///
+/// # Examples
+///
+/// ```rust
+/// use rtmdm_mcusim::{Cycles, PlatformConfig};
+/// use rtmdm_sched::{Segment, SporadicTask, StagingMode, TaskSet};
+/// use rtmdm_sched::analysis::{interference_bounds, SchedulerMode};
+///
+/// # fn main() -> Result<(), rtmdm_sched::TaskError> {
+/// let t = SporadicTask::new(
+///     "kws",
+///     Cycles::new(1_000_000),
+///     Cycles::new(1_000_000),
+///     vec![Segment::new(Cycles::new(50_000), 8_192)],
+///     StagingMode::Overlapped,
+/// )?;
+/// let ts = TaskSet::from_tasks(vec![t]);
+/// let bounds = interference_bounds(
+///     &ts,
+///     &PlatformConfig::stm32f746_qspi(),
+///     SchedulerMode::Gated,
+/// );
+/// let b = bounds[0].expect("converged");
+/// assert_eq!(b.response, b.blocking + b.pipeline + b.interference);
+/// # Ok(())
+/// # }
+/// ```
+pub fn interference_bounds(
+    ts: &TaskSet,
+    platform: &PlatformConfig,
+    mode: SchedulerMode,
+) -> Vec<Option<InterferenceBound>> {
+    let timings: Vec<TaskTiming> = ts
+        .tasks()
+        .iter()
+        .map(|t| TaskTiming::derive(t, platform))
+        .collect();
+    (0..ts.len())
+        .map(|i| {
+            let blocking = blocking_bound(&timings, i, mode);
+            let pipeline = timings[i].pipeline_latency;
+            let response = fixed_point(ts, &timings, i, blocking + pipeline, mode)?;
+            // At the fixed point R = base + Σ interference, so the
+            // higher-priority term is exactly the remainder.
+            let interference = response.saturating_sub(blocking + pipeline);
+            Some(InterferenceBound {
+                blocking,
+                pipeline,
+                interference,
+                response,
+            })
+        })
+        .collect()
+}
+
 /// Blocking bound of task `i` from lower-priority non-preemptive
 /// segments.
 fn blocking_bound(timings: &[TaskTiming], i: usize, mode: SchedulerMode) -> Cycles {
@@ -428,6 +513,41 @@ mod tests {
             };
             assert!(rs >= ro, "task {i}: sound {rs} < oblivious {ro}");
         }
+    }
+
+    #[test]
+    fn interference_bounds_partition_the_response_bound() {
+        let ts = TaskSet::from_tasks(vec![
+            resident("hi", 100, 20),
+            resident("mid", 400, 40),
+            resident("lo", 10_000, 30),
+        ]);
+        let p = bare_platform();
+        for mode in [SchedulerMode::Gated, SchedulerMode::WorkConserving] {
+            let out = rta_limited_preemption_with(&ts, &p, mode);
+            let bounds = interference_bounds(&ts, &p, mode);
+            assert_eq!(bounds.len(), ts.len());
+            for (i, bound) in bounds.iter().enumerate() {
+                let b = bound.expect("converged");
+                assert_eq!(Some(b.response), out.response_of(i), "task {i}");
+                assert_eq!(
+                    b.response,
+                    b.blocking + b.pipeline + b.interference,
+                    "task {i}"
+                );
+            }
+            // Highest priority sees no interference; lowest, no blocking.
+            assert_eq!(bounds[0].unwrap().interference, Cycles::ZERO);
+            assert_eq!(bounds[2].unwrap().blocking, Cycles::ZERO);
+        }
+    }
+
+    #[test]
+    fn interference_bounds_mark_divergent_tasks() {
+        let ts = TaskSet::from_tasks(vec![resident("a", 100, 100), resident("b", 1000, 10)]);
+        let bounds = interference_bounds(&ts, &bare_platform(), SchedulerMode::Gated);
+        assert!(bounds[0].is_some());
+        assert_eq!(bounds[1], None);
     }
 
     #[test]

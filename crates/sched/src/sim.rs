@@ -131,6 +131,15 @@ pub struct SimConfig {
     /// affects wall-clock throughput only, never results.
     #[serde(default)]
     pub engine: Engine,
+    /// When `true`, the simulator emits the causal-attribution anchor
+    /// events ([`TraceKind::FetchWaitBegan`]/[`TraceKind::FetchWaitEnded`],
+    /// [`TraceKind::SegmentStalled`], [`TraceKind::Resumed`]) that the
+    /// observability layer's blame reconstruction consumes. `false`
+    /// (the default) produces a trace byte-identical to one from before
+    /// attribution existed — stats and metrics are unaffected either
+    /// way.
+    #[serde(default)]
+    pub attribution: bool,
 }
 
 impl SimConfig {
@@ -144,6 +153,7 @@ impl SimConfig {
             work_conserving: false,
             fault: FaultPlan::NONE,
             engine: Engine::default(),
+            attribution: false,
         }
     }
 
@@ -164,6 +174,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Enables or disables causal-attribution anchor events (builder
+    /// style; see [`SimConfig::attribution`]).
+    #[must_use]
+    pub fn with_attribution(mut self, attribution: bool) -> Self {
+        self.attribution = attribution;
         self
     }
 }
@@ -388,6 +406,10 @@ struct TaskState {
     /// deadline: the next release is shed wholesale (overload
     /// shedding), then the flag clears.
     skip_next: bool,
+    /// Attribution mode only: the `(job, segment)` whose fetch wait is
+    /// currently open (a [`TraceKind::FetchWaitBegan`] without its
+    /// matching end). `None` otherwise.
+    wait_open: Option<(u64, usize)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -402,6 +424,14 @@ struct CpuExec {
     /// events could run longer than the analysis's single-ceiling
     /// inflated bound — an unsoundness, not a modeling choice.
     credit: u64,
+    /// Instant this occupancy was dispatched. Occupancies are
+    /// non-preemptive, so `now − started` at completion is the exact
+    /// wall time, and `wall − nominal` the exact contention stall the
+    /// settlement accounting charged this segment.
+    started: Cycles,
+    /// Nominal work of the occupancy (scaled compute + context-switch
+    /// charge), fixed at dispatch.
+    nominal: Cycles,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -532,6 +562,7 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
                 next_release: Cycles::ZERO,
                 released: 0,
                 skip_next: false,
+                wait_open: None,
             })
             .collect(),
         cpu: None,
@@ -1049,6 +1080,7 @@ impl Sim<'_> {
             // accounted when it surfaces (see `complete_cpu_segment`).
             self.note_leadin_block(task_idx);
         }
+        self.update_fetch_wait(task_idx);
     }
 
     /// Counts the head job's lead-in fetch as a blocking fetch when its
@@ -1067,6 +1099,50 @@ impl Sim<'_> {
         {
             self.metrics.blocking_fetches += 1;
         }
+    }
+
+    /// Attribution-mode bookkeeping: reconciles `task_idx`'s open fetch
+    /// wait with the head job's current staging state, emitting the
+    /// [`TraceKind::FetchWaitBegan`]/[`TraceKind::FetchWaitEnded`] pair
+    /// boundaries. A wait is open exactly while the head job's next
+    /// segment is not yet staged (such a job can never hold the CPU, so
+    /// wait intervals are disjoint from its own segment slices by
+    /// construction). Idempotent within an instant; a no-op unless
+    /// [`SimConfig::attribution`] is set, so default runs carry zero
+    /// cost and byte-identical traces.
+    fn update_fetch_wait(&mut self, task_idx: usize) {
+        if !self.config.attribution {
+            return;
+        }
+        let want = self.tasks[task_idx].jobs.front().and_then(|j| {
+            (j.next_seg < j.seg_compute.len() && j.staged <= j.next_seg)
+                .then_some((j.id, j.next_seg))
+        });
+        let open = self.tasks[task_idx].wait_open;
+        if open == want {
+            return;
+        }
+        if let Some((job, seg)) = open {
+            self.trace.push(
+                self.now,
+                TraceKind::FetchWaitEnded {
+                    task: TaskId(task_idx),
+                    job: JobId(job),
+                    segment: SegmentId(seg),
+                },
+            );
+        }
+        if let Some((job, seg)) = want {
+            self.trace.push(
+                self.now,
+                TraceKind::FetchWaitBegan {
+                    task: TaskId(task_idx),
+                    job: JobId(job),
+                    segment: SegmentId(seg),
+                },
+            );
+        }
+        self.tasks[task_idx].wait_open = want;
     }
 
     fn deadline_check(&mut self, task_idx: usize, job_id: u64) {
@@ -1142,6 +1218,7 @@ impl Sim<'_> {
             self.maybe_request_fetch(task_idx);
             self.note_leadin_block(task_idx);
         }
+        self.update_fetch_wait(task_idx);
     }
 
     fn complete_dma(&mut self) {
@@ -1220,6 +1297,7 @@ impl Sim<'_> {
         }
         // The next fetch of this task may be admissible now.
         self.maybe_request_fetch(d.task);
+        self.update_fetch_wait(d.task);
     }
 
     fn complete_cpu_segment(&mut self) {
@@ -1249,6 +1327,24 @@ impl Sim<'_> {
             }
             (job.id, done, abort, self.now.saturating_sub(job.release))
         };
+        // Attribution anchor: the occupancy's exact contention stall.
+        // Occupancies are non-preemptive, so wall time minus nominal
+        // work is precisely what the settlement accounting charged to
+        // `cpu_stall_cycles` over this stretch.
+        if self.config.attribution {
+            let stall = self.now.saturating_sub(c.started).saturating_sub(c.nominal);
+            if !stall.is_zero() {
+                self.trace.push(
+                    self.now,
+                    TraceKind::SegmentStalled {
+                        task: TaskId(task_idx),
+                        job: JobId(job_id),
+                        segment: SegmentId(c.seg),
+                        stall,
+                    },
+                );
+            }
+        }
         self.trace.push(
             self.now,
             TraceKind::SegmentCompleted {
@@ -1292,6 +1388,7 @@ impl Sim<'_> {
         if job_done {
             self.note_leadin_block(task_idx);
         }
+        self.update_fetch_wait(task_idx);
     }
 
     // --- staging -----------------------------------------------------------
@@ -1513,6 +1610,7 @@ impl Sim<'_> {
             }
         }
 
+        let prev_cpu = self.last_cpu_task;
         let switch = if self.last_cpu_task == Some(task_idx) {
             Cycles::ZERO
         } else {
@@ -1524,11 +1622,30 @@ impl Sim<'_> {
             let job = self.tasks[task_idx].jobs.front().expect("ready job");
             (job.next_seg, job.seg_compute[job.next_seg], job.id)
         };
+        // Attribution anchor: a mid-job task re-claiming the CPU after
+        // another task held it resumes from a preemption — name the
+        // most recent occupant so span reconstruction need not scan.
+        if self.config.attribution && seg > 0 {
+            if let Some(prev) = prev_cpu {
+                if prev != task_idx {
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Resumed {
+                            task: TaskId(task_idx),
+                            job: JobId(job_id),
+                            after: TaskId(prev),
+                        },
+                    );
+                }
+            }
+        }
         self.cpu = Some(CpuExec {
             task: task_idx,
             seg,
             remaining: work + switch,
             credit: 0,
+            started: self.now,
+            nominal: work + switch,
         });
         self.trace.push(
             self.now,
@@ -1752,6 +1869,7 @@ mod tests {
             work_conserving: false,
             fault: FaultPlan::NONE,
             engine: Engine::Des,
+            attribution: false,
         };
         let p = bare_platform();
         let r1 = simulate(&ts, &p, &cfg);
@@ -1772,6 +1890,7 @@ mod tests {
             work_conserving: false,
             fault: FaultPlan::NONE,
             engine: Engine::Des,
+            attribution: false,
         };
         let r1 = simulate(&ts, &p, &mk(1));
         let r2 = simulate(&ts, &p, &mk(2));
@@ -1801,6 +1920,7 @@ mod tests {
                     work_conserving: false,
                     fault: FaultPlan::NONE,
                     engine: Engine::Des,
+                    attribution: false,
                 },
             );
             for i in 0..ts.len() {

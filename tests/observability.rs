@@ -54,6 +54,7 @@ fn golden_scenario_with(engine: Engine) -> (SimResult, Vec<String>) {
         work_conserving: false,
         fault: FaultPlan::NONE,
         engine,
+        attribution: false,
     };
     let result = simulate(&ts, &PlatformConfig::stm32f746_qspi(), &config);
     (result, vec!["ctrl".to_owned(), "dnn".to_owned()])
@@ -177,6 +178,7 @@ proptest! {
             work_conserving: false,
             fault: FaultPlan::NONE,
             engine: Engine::Des,
+            attribution: false,
         };
         let result = simulate(&ts, &p, &config);
         check_invariants(&result)?;
@@ -204,6 +206,7 @@ proptest! {
             work_conserving: false,
             fault: FaultPlan::NONE,
             engine: Engine::Des,
+            attribution: false,
         };
         let result = simulate(&ts, &p, &config);
         check_invariants(&result)?;
@@ -231,6 +234,7 @@ proptest! {
             work_conserving: false,
             fault: FaultPlan::NONE,
             engine: Engine::Des,
+            attribution: false,
         };
         let result = simulate(&ts, &p, &config);
         let names: Vec<String> = ts.tasks().iter().map(|t| t.name.clone()).collect();

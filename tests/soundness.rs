@@ -50,6 +50,7 @@ fn check_soundness(
         work_conserving: mode == SchedulerMode::WorkConserving,
         fault: FaultPlan::NONE,
         engine: Engine::Des,
+        attribution: false,
     };
     let run = simulate(&ordered, &p, &config);
     prop_assert_eq!(
@@ -170,6 +171,7 @@ fn directed_soundness_sweep() {
                 work_conserving: mode == SchedulerMode::WorkConserving,
                 fault: FaultPlan::NONE,
                 engine: Engine::Des,
+                attribution: false,
             };
             let run = simulate(&ordered, &p, &config);
             assert_eq!(run.total_misses(), 0, "seed {seed} mode {mode:?}");

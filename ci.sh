@@ -15,8 +15,8 @@ cargo clippy --all-targets --workspace -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo doc (obs + check) =="
-RUSTDOCFLAGS="-D warnings" cargo doc -q -p rtmdm-obs -p rtmdm-check --no-deps
+echo "== cargo doc (obs + check + sched) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q -p rtmdm-obs -p rtmdm-check -p rtmdm-sched --no-deps
 
 echo "== rtmdm trace smoke =="
 trace_out="$(mktemp)"
@@ -123,5 +123,38 @@ if ./target/release/rtmdm check --task bad=ds-cnn@100/200 > /dev/null; then
   echo "check smoke: broken spec unexpectedly verified clean" >&2
   exit 1
 fi
+
+echo "== rtmdm check --explore smoke =="
+# The explorer gate: an analysis-admitted pair must also prove safe
+# under exhaustive exploration (exit 0, space covered); a directed
+# overload must exit 2 with a reachable-miss finding and a witness
+# that re-validates through the bundled serde_json (the CLI
+# round-trips it before writing). --explain must describe a known
+# rule and reject an unknown one as a usage error.
+explore_out="$(mktemp)"
+./target/release/rtmdm check --platform stm32f746-qspi --task kws=ds-cnn@100 \
+  --task ic=resnet8@400 --explore > "$explore_out"
+grep -q 'complete' "$explore_out" || {
+  echo "explore smoke: admitted cell did not cover its space" >&2; exit 1; }
+witness_out="$(mktemp)"
+set +e
+./target/release/rtmdm check --platform stm32f746-qspi --task ic=resnet8@10 \
+  --explore --witness "$witness_out" > "$explore_out"
+code=$?
+set -e
+if [[ $code -ne 2 ]]; then
+  echo "explore smoke: overload exited $code, want 2" >&2; exit 1
+fi
+grep -q 'RTM050' "$explore_out" || {
+  echo "explore smoke: overload report missing RTM050" >&2; exit 1; }
+grep -q '"rtmdm-witness/1"' "$witness_out" || {
+  echo "explore smoke: witness JSON missing schema marker" >&2; exit 1; }
+./target/release/rtmdm check --explain RTM050 > "$explore_out"
+grep -q 'RTM050' "$explore_out" || {
+  echo "explore smoke: --explain RTM050 failed" >&2; exit 1; }
+if ./target/release/rtmdm check --explain RTM999 2> /dev/null; then
+  echo "explore smoke: unknown rule unexpectedly explained" >&2; exit 1
+fi
+rm -f "$explore_out" "$witness_out"
 
 echo "CI green."

@@ -52,6 +52,7 @@ fn bench_jittered(c: &mut Criterion) {
         fault: FaultPlan::NONE,
         engine: Engine::Des,
         attribution: false,
+        staging_window: 2,
     };
     c.bench_function("simulator/jittered_4tasks_1s", |b| {
         b.iter(|| simulate(&ts, &p, &config))

@@ -1,0 +1,4 @@
+//! Regenerates experiment `f14_explore` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f14_explore", &rtmdm_bench::experiments::f14_explore());
+}

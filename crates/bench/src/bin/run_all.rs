@@ -14,7 +14,7 @@ use rtmdm_bench::{emit, experiments as e, par, results_dir, telemetry};
 type Experiment = (&'static str, fn() -> String);
 
 fn main() {
-    let experiments: [Experiment; 16] = [
+    let experiments: [Experiment; 17] = [
         ("t1_models", e::t1_models),
         ("t2_platforms", e::t2_platforms),
         ("t3_wcrt", e::t3_wcrt),
@@ -31,6 +31,7 @@ fn main() {
         ("f11_robustness", e::f11_robustness),
         ("f12_engine", e::f12_engine),
         ("f13_blame", e::f13_blame),
+        ("f14_explore", e::f14_explore),
     ];
     let registry = rtmdm_obs::metrics::global();
     registry.enable(true);

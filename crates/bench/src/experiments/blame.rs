@@ -51,6 +51,7 @@ pub fn f13_blame() -> String {
         },
         engine: Engine::Des,
         attribution: true,
+        staging_window: 2,
     };
     let run = simulate(&ts, &platform, &config);
     let report = attribute(&run.trace).expect("decomposition conserves response time");

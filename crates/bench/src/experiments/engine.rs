@@ -153,6 +153,7 @@ fn run(s: &Scenario, engine: Engine) -> SimResult {
         },
         engine,
         attribution: false,
+        staging_window: 2,
     };
     simulate(&ts, &s.platform, &config)
 }
@@ -277,6 +278,7 @@ pub fn engine_comparison() -> EngineComparison {
         fault: FaultPlan::NONE,
         engine,
         attribution: false,
+        staging_window: 2,
     };
     let timed_run = |engine: Engine| -> (SimResult, f64) {
         let start = Instant::now();

@@ -1,0 +1,80 @@
+//! Figure F14 — explorer scale: schedule-space size versus task count.
+//!
+//! One synthetic task set per row (fixed generator seed, grid periods),
+//! explored exhaustively with a two-endpoint execution-time dimension
+//! (WCET and 60 % of WCET per job). The columns are the search
+//! counters: distinct canonical `(state, choice-point)` pairs, full
+//! simulation runs, transitions taken, and the verdict — `safe` when
+//! the lattice was covered without a violation, a rule ID when the
+//! explorer reached one, `inconclusive` when the state budget ran out.
+//!
+//! Everything in the table is deterministic (the explorer's DFS order
+//! is fixed), so the table is byte-pinned like every other
+//! `results/*.txt`. Wall time is nondeterministic by nature and lands
+//! in `BENCH_run_all.json` via the harness telemetry, per the same
+//! discipline as the F12 engine throughput probe.
+
+use rtmdm_check::{explore, ExploreLimits};
+use rtmdm_core::report;
+use rtmdm_mcusim::FaultPlan;
+use rtmdm_sched::gen::{generate, TasksetParams};
+use rtmdm_sched::sim::{Engine, Policy, SimConfig};
+
+/// State budget per cell; exceeding it is the `inconclusive` verdict.
+const MAX_STATES: usize = 2_000;
+
+/// Lower endpoint of the per-job execution-time interval (ppm of WCET).
+const EXEC_SCALE_MIN_PPM: u64 = 600_000;
+
+/// F14 — explorer search counters as the task count grows.
+pub fn f14_explore() -> String {
+    let platform = super::eval_platform();
+    let mut rows = Vec::new();
+    for n in 1..=5usize {
+        let mut params = TasksetParams::baseline(n, 400_000).with_grid_periods();
+        params.segments_range = (2, 4);
+        let ts = generate(&params, &platform, 1);
+        // A bounded probe horizon, not hyperperiod coverage: the row
+        // measures how the search scales, and two of the largest
+        // periods already hold several releases of every task.
+        let horizon = ts.tasks().iter().map(|t| t.period).max().unwrap() * 2;
+        let config = SimConfig {
+            horizon,
+            policy: Policy::FixedPriority,
+            exec_scale_min_ppm: EXEC_SCALE_MIN_PPM,
+            seed: 0,
+            work_conserving: false,
+            fault: FaultPlan::NONE,
+            engine: Engine::Des,
+            attribution: true,
+            staging_window: 2,
+        };
+        let limits = ExploreLimits {
+            max_states: MAX_STATES,
+            jitter_max_cycles: 0,
+        };
+        let out = explore(&ts, &platform, &config, &limits);
+        let verdict = if out.proven_safe() {
+            "safe".to_owned()
+        } else if let Some(f) = out.findings.first() {
+            if out.stats.complete || out.witness.is_some() {
+                f.rule.id().to_owned()
+            } else {
+                "inconclusive".to_owned()
+            }
+        } else {
+            "inconclusive".to_owned()
+        };
+        rows.push(vec![
+            n.to_string(),
+            out.stats.states.to_string(),
+            out.stats.runs.to_string(),
+            out.stats.transitions.to_string(),
+            verdict,
+        ]);
+    }
+    report::table(
+        &["tasks", "states", "runs", "transitions", "verdict"],
+        &rows,
+    )
+}

@@ -5,6 +5,7 @@ mod blame;
 mod blocking;
 mod energy;
 mod engine;
+mod explore;
 mod latency;
 mod platforms;
 mod robustness;
@@ -16,6 +17,7 @@ pub use blame::f13_blame;
 pub use blocking::f6_blocking;
 pub use energy::f9_energy;
 pub use engine::{engine_comparison, f12_engine};
+pub use explore::f14_explore;
 pub use latency::{f1_latency, f4_sram_budget, f5_bandwidth};
 pub use platforms::f10_platforms;
 pub use robustness::f11_robustness;

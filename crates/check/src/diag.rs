@@ -58,6 +58,8 @@ pub enum Category {
     Graph,
     /// Platform configuration sanity (`RTM04x`).
     Platform,
+    /// Exhaustive schedule-space exploration verdicts (`RTM05x`).
+    Explore,
 }
 
 macro_rules! rules {
@@ -66,7 +68,7 @@ macro_rules! rules {
         ///
         /// IDs are grouped by decade: `RTM00x` staging/aliasing, `RTM01x`
         /// plan well-formedness, `RTM02x` admission, `RTM03x` graph,
-        /// `RTM04x` platform.
+        /// `RTM04x` platform, `RTM05x` schedule-space exploration.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub enum Rule {
             $( #[doc = $summary] $variant, )+
@@ -159,6 +161,14 @@ rules! {
         "the platform configuration is invalid";
     Rtm041 = "RTM041", Error, Platform, false,
         "staging a job's weights alone exceeds the task's deadline on this bus";
+    Rtm050 = "RTM050", Error, Explore, false,
+        "exhaustive exploration reached a deadline miss under some admissible interleaving";
+    Rtm051 = "RTM051", Error, Explore, true,
+        "exhaustive exploration reached a double-buffer staging race";
+    Rtm052 = "RTM052", Error, Explore, false,
+        "the DMA retry budget is insufficient on some explored fault path";
+    Rtm053 = "RTM053", Warn, Explore, false,
+        "exploration exceeded its state budget before covering the space; the verdict is inconclusive, not safe";
 }
 
 impl fmt::Display for Rule {
@@ -466,6 +476,7 @@ mod tests {
                 Category::Admission => 2,
                 Category::Graph => 3,
                 Category::Platform => 4,
+                Category::Explore => 5,
             };
             assert_eq!(decade, expected, "{rule} decade");
         }
@@ -480,6 +491,13 @@ mod tests {
             Rule::Rtm024,
             Rule::Rtm026,
             Rule::Rtm041,
+            // Exploration feasibility verdicts mirror the analytic ones:
+            // a reachable miss or an insufficient retry budget is the
+            // analysis's answer, not a malformed spec. The reachable
+            // *race* (RTM051) is structural and blocks below.
+            Rule::Rtm050,
+            Rule::Rtm052,
+            Rule::Rtm053,
         ] {
             assert!(!rule.blocks_admission(), "{rule}");
         }
@@ -489,6 +507,7 @@ mod tests {
             Rule::Rtm020,
             Rule::Rtm030,
             Rule::Rtm040,
+            Rule::Rtm051,
         ] {
             assert!(rule.blocks_admission(), "{rule}");
         }

@@ -1,0 +1,470 @@
+//! The bounded exhaustive schedule-space explorer (`RTM050`–`RTM053`).
+//!
+//! Where every other pass in this crate reasons *analytically*, this one
+//! reasons *operationally*: it enumerates every interleaving of the
+//! simulator's nondeterministic choices — per-job execution times over
+//! `[BCET, WCET]` endpoints, release jitter, and per-transfer fault
+//! injection up to the retry budget — and proves either that no
+//! reachable interleaving misses a deadline or races the double buffer,
+//! or produces a concrete violating path as a replayable [`Witness`].
+//!
+//! The transition function is not a model of the scheduler: it *is* the
+//! scheduler, driven through the
+//! [`SimOracle`](rtmdm_sched::script::SimOracle) hook. That makes every
+//! counterexample exact by construction — replaying the witness script
+//! through [`simulate_with_oracle`] reproduces the violating run byte
+//! for byte on either engine.
+//!
+//! Search is stateless depth-first over forced-choice prefixes, with
+//! converging interleavings merged through the canonical state
+//! fingerprint (see [`crate::state`]). The search is bounded: when the
+//! state budget is hit, the verdict is `RTM053` — explicitly
+//! inconclusive, never silently safe.
+
+use rtmdm_mcusim::{Cycles, JobId, PlatformConfig, TaskId, TraceKind};
+use rtmdm_obs::attribute;
+use rtmdm_sched::script::{Choice, ScriptedChoice};
+use rtmdm_sched::sim::{simulate_with_oracle, RaceKind, SimConfig, SimResult};
+use rtmdm_sched::TaskSet;
+
+use crate::diag::{Finding, Rule};
+use crate::state::WITNESS_SCHEMA;
+use crate::state::{ChoiceRecord, Domains, ExploreStats, PathOracle, VisitedSet, Witness};
+
+/// Exploration bounds and the extra nondeterminism dimensions that have
+/// no [`SimConfig`] field of their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreLimits {
+    /// Budget on distinct canonical `(state, choice-point)` pairs; when
+    /// exceeded the verdict is `RTM053` (inconclusive).
+    pub max_states: usize,
+    /// Upper endpoint of the release-jitter dimension, in cycles; zero
+    /// keeps arrivals strictly periodic.
+    pub jitter_max_cycles: u64,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> ExploreLimits {
+        ExploreLimits {
+            max_states: 20_000,
+            jitter_max_cycles: 0,
+        }
+    }
+}
+
+/// What one exploration concluded.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Zero findings = proven safe over the explored lattice; `RTM050`/
+    /// `RTM051`/`RTM052` = violation reached; `RTM053` = budget hit.
+    pub findings: Vec<Finding>,
+    /// The replayable counterexample behind a violation finding.
+    pub witness: Option<Witness>,
+    /// Search counters (also reported by `rtmdm check --explore`).
+    pub stats: ExploreStats,
+}
+
+impl ExploreOutcome {
+    /// Whether exploration covered the space and found nothing.
+    pub fn proven_safe(&self) -> bool {
+        self.findings.is_empty() && self.stats.complete
+    }
+}
+
+/// The violating event of one explored run, before rule classification.
+#[derive(Debug, Clone, Copy)]
+struct RawViolation {
+    at: Cycles,
+    task: usize,
+    job: u64,
+    race: Option<(usize, usize, RaceKind)>,
+}
+
+/// Explores the schedule space of `ts` on `platform` exhaustively over
+/// the choice lattice induced by `base` and `limits`, up to
+/// `base.horizon`.
+///
+/// `base` supplies the scheduling policy, dispatch discipline, staging
+/// window, horizon, and the fault environment (a zero
+/// `dma_fault_rate_ppm` disables the fault dimension; a nonzero rate
+/// enables it — the rate itself is ignored, since the explorer decides
+/// each fault outcome, honoring only `max_retries`). Attribution is
+/// forced on so a violating run decomposes into blame terms.
+///
+/// Returns zero findings only when the entire bounded lattice was
+/// covered without reaching a violation.
+pub fn explore(
+    ts: &TaskSet,
+    platform: &PlatformConfig,
+    base: &SimConfig,
+    limits: &ExploreLimits,
+) -> ExploreOutcome {
+    let mut cfg = base.clone();
+    cfg.attribution = true;
+    let domains = Domains {
+        exec_scale_min_ppm: cfg.exec_scale_min_ppm,
+        jitter_max_cycles: limits.jitter_max_cycles,
+        explore_faults: cfg.fault.dma_fault_rate_ppm > 0,
+    };
+    let mut visited = VisitedSet::new();
+    let mut stats = ExploreStats::default();
+    let mut stack: Vec<Vec<Choice>> = vec![Vec::new()];
+    // Each scheduled branch is an untaken alternative of a novel pair,
+    // so runs are bounded by states; the cap is a backstop only.
+    let run_cap = limits.max_states.saturating_mul(2).saturating_add(1);
+    let mut exhausted = false;
+
+    while let Some(prefix) = stack.pop() {
+        if visited.len() >= limits.max_states || stats.runs >= run_cap {
+            exhausted = true;
+            break;
+        }
+        let mut oracle = PathOracle::new(prefix, &domains, &mut visited);
+        let result = simulate_with_oracle(ts, platform, &cfg, &mut oracle);
+        let log = std::mem::take(&mut oracle.log);
+        drop(oracle);
+        stats.runs += 1;
+        stats.transitions += log.len() as u64;
+
+        if let Some(raw) = first_violation(&result) {
+            stats.states = visited.len();
+            return violation_outcome(ts, platform, &cfg, &result, &log, raw, stats);
+        }
+        // Deepest branch points first keeps the stack depth-first.
+        for i in (0..log.len()).rev() {
+            for &alt in &log[i].alternatives {
+                let mut branch: Vec<Choice> = log[..i].iter().map(|r| r.chosen).collect();
+                branch.push(alt);
+                stack.push(branch);
+            }
+        }
+    }
+
+    stats.states = visited.len();
+    stats.complete = !exhausted;
+    let mut findings = Vec::new();
+    if exhausted {
+        findings.push(Finding::new(
+            Rule::Rtm053,
+            format!(
+                "exploration budget exceeded ({} states, {} runs, {} unexplored branches): \
+                 the verdict is inconclusive, not safe — raise --max-states to cover the space",
+                stats.states,
+                stats.runs,
+                stack.len(),
+            ),
+        ));
+    }
+    ExploreOutcome {
+        findings,
+        witness: None,
+        stats,
+    }
+}
+
+/// The chronologically first violating event of a run: a staging race
+/// or a deadline miss, races winning ties (they are structural).
+fn first_violation(result: &SimResult) -> Option<RawViolation> {
+    let race = result.races.first().map(|r| RawViolation {
+        at: r.at,
+        task: r.task,
+        job: r.job,
+        race: Some((r.write_seg, r.clobbered_seg, r.kind)),
+    });
+    let miss = result.trace.events().iter().find_map(|e| match e.kind {
+        TraceKind::DeadlineMissed { task, job } => Some(RawViolation {
+            at: e.time,
+            task: task.0,
+            job: job.0,
+            race: None,
+        }),
+        _ => None,
+    });
+    match (race, miss) {
+        (Some(r), Some(m)) if m.at < r.at => Some(m),
+        (Some(r), _) => Some(r),
+        (None, m) => m,
+    }
+}
+
+/// Builds the finding and witness for a violating run.
+fn violation_outcome(
+    ts: &TaskSet,
+    platform: &PlatformConfig,
+    cfg: &SimConfig,
+    result: &SimResult,
+    log: &[ChoiceRecord],
+    raw: RawViolation,
+    stats: ExploreStats,
+) -> ExploreOutcome {
+    let name = &ts.tasks()[raw.task].name;
+    let forced_faults = log
+        .iter()
+        .filter(|r| r.chosen == Choice::TransferFault(true))
+        .count();
+    let (rule, message) = match raw.race {
+        Some((write, clobbered, kind)) => (
+            Rule::Rtm051,
+            format!(
+                "a double-buffer staging race is reachable at cycle {}: the DMA writes \
+                 segment {write} over {} segment {clobbered} of job {} \
+                 (staging window {}, {} runs, {} states explored)",
+                raw.at.get(),
+                match kind {
+                    RaceKind::CpuRead => "the CPU-read",
+                    RaceKind::StagedUnconsumed => "staged-unconsumed",
+                },
+                raw.job,
+                cfg.staging_window,
+                stats.runs,
+                stats.states,
+            ),
+        ),
+        None if forced_faults > 0 => (
+            Rule::Rtm052,
+            format!(
+                "the DMA retry budget (max_retries = {}) is insufficient: job {} misses \
+                 its deadline at cycle {} on a path with {forced_faults} injected fault(s) \
+                 ({} runs, {} states explored)",
+                cfg.fault.max_retries,
+                raw.job,
+                raw.at.get(),
+                stats.runs,
+                stats.states,
+            ),
+        ),
+        None => (
+            Rule::Rtm050,
+            format!(
+                "a deadline miss is reachable: job {} misses at cycle {} under an \
+                 admissible interleaving ({} runs, {} states explored)",
+                raw.job,
+                raw.at.get(),
+                stats.runs,
+                stats.states,
+            ),
+        ),
+    };
+    let dominant_blame = attribute(&result.trace).ok().and_then(|report| {
+        report
+            .jobs
+            .iter()
+            .find(|j| j.task == TaskId(raw.task) && j.job == JobId(raw.job))
+            .and_then(|j| j.dominant_interference())
+            .map(|(src, _)| src.to_string())
+    });
+    let witness = Witness {
+        schema: WITNESS_SCHEMA.to_owned(),
+        rule: rule.id().to_owned(),
+        task: raw.task,
+        job: raw.job,
+        at: raw.at.get(),
+        dominant_blame,
+        task_set: ts.clone(),
+        platform: platform.clone(),
+        config: cfg.clone(),
+        script: log
+            .iter()
+            .map(|r| ScriptedChoice {
+                point: r.point,
+                value: r.chosen,
+            })
+            .collect(),
+    };
+    ExploreOutcome {
+        findings: vec![Finding::new(rule, message).with_task(name.clone())],
+        witness: Some(witness),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtmdm_mcusim::{ContentionModel, FaultPlan};
+    use rtmdm_sched::sim::{Engine, Policy};
+    use rtmdm_sched::{Segment, SporadicTask, StagingMode};
+
+    fn cy(n: u64) -> Cycles {
+        Cycles::new(n)
+    }
+
+    fn bare_platform() -> PlatformConfig {
+        let mut p = PlatformConfig::stm32f746_qspi();
+        p.contention = ContentionModel::NONE;
+        p.context_switch_cycles = Cycles::ZERO;
+        p.ext_mem.setup_cycles = Cycles::ZERO;
+        p.ext_mem.cycles_per_byte_num = 1;
+        p.ext_mem.cycles_per_byte_den = 1;
+        p
+    }
+
+    fn resident(name: &str, period: u64, deadline: u64, compute: u64) -> SporadicTask {
+        SporadicTask::new(
+            name,
+            cy(period),
+            cy(deadline),
+            vec![Segment::new(cy(compute), 0)],
+            StagingMode::Resident,
+        )
+        .expect("valid task")
+    }
+
+    fn overlapped(name: &str, period: u64, segs: &[(u64, u64)]) -> SporadicTask {
+        SporadicTask::new(
+            name,
+            cy(period),
+            cy(period),
+            segs.iter().map(|&(c, b)| Segment::new(cy(c), b)).collect(),
+            StagingMode::Overlapped,
+        )
+        .expect("valid task")
+    }
+
+    fn config(horizon: u64) -> SimConfig {
+        SimConfig {
+            horizon: cy(horizon),
+            policy: Policy::FixedPriority,
+            exec_scale_min_ppm: 1_000_000,
+            seed: 0,
+            work_conserving: false,
+            fault: FaultPlan::NONE,
+            engine: Engine::Des,
+            attribution: false,
+            staging_window: 2,
+        }
+    }
+
+    #[test]
+    fn feasible_set_is_proven_safe() {
+        let ts = TaskSet::from_tasks(vec![
+            resident("a", 1_000, 1_000, 200),
+            resident("b", 2_000, 2_000, 400),
+        ]);
+        let mut cfg = config(4_000);
+        cfg.exec_scale_min_ppm = 500_000;
+        let limits = ExploreLimits {
+            max_states: 10_000,
+            jitter_max_cycles: 100,
+        };
+        let out = explore(&ts, &bare_platform(), &cfg, &limits);
+        assert!(out.proven_safe(), "findings: {:?}", out.findings);
+        assert!(out.witness.is_none());
+        assert!(out.stats.runs > 1, "jitter/scale dimensions must branch");
+    }
+
+    #[test]
+    fn jitter_reachable_miss_is_found_with_replayable_witness() {
+        // Feasible when periodic: 600 compute in a 1000 deadline. A
+        // 500-cycle jitter on the release pushes completion past the
+        // anchored deadline.
+        let ts = TaskSet::from_tasks(vec![resident("t", 2_000, 1_000, 600)]);
+        let cfg = config(8_000);
+        let limits = ExploreLimits {
+            max_states: 10_000,
+            jitter_max_cycles: 500,
+        };
+        let out = explore(&ts, &bare_platform(), &cfg, &limits);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::Rtm050);
+        let w = out.witness.expect("violation carries a witness");
+        assert_eq!(w.rule, "RTM050");
+        let replay = w.replay();
+        let miss = replay
+            .trace
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::DeadlineMissed { .. }))
+            .expect("replay reproduces the miss");
+        assert_eq!(miss.time.get(), w.at, "predicted == replayed instant");
+    }
+
+    #[test]
+    fn widened_staging_window_reaches_rtm051() {
+        let ts = TaskSet::from_tasks(vec![overlapped(
+            "a",
+            2_000_000,
+            &[
+                (200_000, 256),
+                (200_000, 256),
+                (200_000, 256),
+                (200_000, 256),
+            ],
+        )]);
+        let mut cfg = config(2_000_000);
+        cfg.staging_window = 3;
+        let out = explore(&ts, &bare_platform(), &cfg, &ExploreLimits::default());
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::Rtm051);
+        let w = out.witness.expect("witness");
+        let replay = w.replay();
+        assert!(!replay.races.is_empty());
+        assert_eq!(replay.races[0].at.get(), w.at);
+    }
+
+    #[test]
+    fn insufficient_retry_budget_is_rtm052() {
+        // One fetch-heavy task whose deadline only holds when no
+        // transfer faults: each injected fault re-issues a 4096-cycle
+        // transfer, and two of them push the job past its deadline.
+        let ts = TaskSet::from_tasks(vec![overlapped(
+            "a",
+            40_000,
+            &[(1_000, 4_096), (1_000, 4_096), (1_000, 4_096)],
+        )]);
+        let mut cfg = config(40_000);
+        cfg.fault = FaultPlan {
+            seed: 0,
+            dma_fault_rate_ppm: 1,
+            max_retries: 3,
+            jitter_max_cycles: 0,
+        };
+        let out = explore(&ts, &bare_platform(), &cfg, &ExploreLimits::default());
+        assert_eq!(out.findings.len(), 1, "findings: {:?}", out.findings);
+        assert_eq!(out.findings[0].rule, Rule::Rtm052);
+        let w = out.witness.expect("witness");
+        assert!(w
+            .script
+            .iter()
+            .any(|s| s.value == Choice::TransferFault(true)));
+        let replay = w.replay();
+        assert!(replay
+            .trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::DeadlineMissed { .. })));
+    }
+
+    #[test]
+    fn tiny_budget_is_inconclusive_not_safe() {
+        let ts = TaskSet::from_tasks(vec![
+            resident("a", 1_000, 1_000, 200),
+            resident("b", 1_500, 1_500, 300),
+        ]);
+        let mut cfg = config(30_000);
+        cfg.exec_scale_min_ppm = 400_000;
+        let limits = ExploreLimits {
+            max_states: 3,
+            jitter_max_cycles: 100,
+        };
+        let out = explore(&ts, &bare_platform(), &cfg, &limits);
+        assert!(!out.stats.complete);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::Rtm053);
+        assert!(!out.proven_safe());
+    }
+
+    #[test]
+    fn safe_verdict_requires_no_unexplored_branches() {
+        // An empty task set explores trivially and completely.
+        let out = explore(
+            &TaskSet::new(),
+            &bare_platform(),
+            &config(1_000),
+            &ExploreLimits::default(),
+        );
+        assert!(out.proven_safe());
+        assert_eq!(out.stats.runs, 1);
+        assert_eq!(out.stats.states, 0);
+    }
+}

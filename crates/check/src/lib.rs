@@ -17,12 +17,16 @@
 //! | admission lints | [`admission`] | `RTM020`–`RTM026`, `RTM041` |
 //! | graph lints | [`graph`] | `RTM030`–`RTM033` |
 //! | platform sanity | [`platform`] | `RTM040` |
+//! | schedule-space exploration | [`mod@explore`] | `RTM050`–`RTM053` |
 //!
 //! The passes are deliberately decoupled from `rtmdm-core`: each one
 //! takes the lower-level IR it inspects (`rtmdm-core` orchestrates them
 //! behind `SystemSpec::check()` and rejects admission on blocking
-//! errors). Every pass is pure — no simulation, no I/O, no panics on
-//! user-supplied input.
+//! errors). Every *static* pass is pure — no simulation, no I/O, no
+//! panics on user-supplied input. The one deliberate exception is the
+//! opt-in [`mod@explore`] pass, which drives the scheduler simulator
+//! exhaustively over its nondeterministic choices and returns replayable
+//! counterexamples ([`Witness`]).
 //!
 //! ```rust
 //! use rtmdm_check::{check_timing, Rule};
@@ -37,16 +41,20 @@
 
 pub mod admission;
 pub mod diag;
+pub mod explore;
 pub mod graph;
 pub mod plan;
 pub mod platform;
 pub mod staging;
+pub mod state;
 
 pub use admission::{check_taskset, check_timing, AdmissionContext};
 pub use diag::{
     Category, Finding, JsonFinding, JsonReport, Report, Rule, RuleFilter, Severity, SCHEMA,
 };
+pub use explore::{explore, ExploreLimits, ExploreOutcome};
 pub use graph::check_model;
 pub use plan::check_plan;
 pub use platform::check_platform;
 pub use staging::{check_sram_regions, check_staging, staging_races, SramRegion, StagingRace};
+pub use state::{ExploreStats, Witness, WITNESS_SCHEMA};

@@ -1,0 +1,349 @@
+//! Exploration state: canonical visited-state bookkeeping, choice
+//! domains, the path oracle that drives one scripted run, and the
+//! replayable violation witness.
+//!
+//! The explorer (see [`mod@crate::explore`]) is *stateless* in the CHESS
+//! tradition: it never snapshots or restores simulator state. Each
+//! explored path is one complete simulator run driven by a
+//! [`PathOracle`] — a forced prefix of choices replayed positionally,
+//! then the deterministic default answer for every further query. While
+//! answering, the oracle logs every query together with the untaken
+//! alternatives, and consults a shared visited set keyed on the
+//! canonical state fingerprint *and* the choice point: once a
+//! `(state, point)` pair has been expanded on some path, every
+//! alternative at that pair is already scheduled, so a later path
+//! reaching it stops branching (it keeps running on defaults — a
+//! violation in the tail is still real and still reported).
+//!
+//! Keying on the pair rather than the state alone matters: consecutive
+//! choice points within one instant (a release's jitter query followed
+//! by its exec-scale query) can observe identical state fingerprints,
+//! and merging those would silently drop the second dimension.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use rtmdm_mcusim::{Cycles, PlatformConfig};
+use rtmdm_sched::script::{
+    Choice, ChoicePoint, ScriptOracle, ScriptedChoice, SimOracle, StateHash,
+};
+use rtmdm_sched::sim::{simulate_with_oracle, SimConfig, SimResult};
+use rtmdm_sched::TaskSet;
+
+/// Version tag of the witness JSON layout.
+pub const WITNESS_SCHEMA: &str = "rtmdm-witness/1";
+
+/// The candidate answers the explorer considers at each kind of choice
+/// point. The continuous dimensions (execution scale, jitter) are
+/// discretized to their interval endpoints; `DESIGN.md` §2.5 spells out
+/// why the verdict is exhaustive over this lattice and what that does
+/// and does not imply about the continuum.
+#[derive(Debug, Clone)]
+pub struct Domains {
+    /// Lower execution-scale endpoint in ppm of WCET (from
+    /// `SimConfig::exec_scale_min_ppm`); the other endpoint is WCET.
+    pub exec_scale_min_ppm: u64,
+    /// Upper release-jitter endpoint in cycles; the other endpoint is
+    /// zero. Zero disables the dimension.
+    pub jitter_max_cycles: u64,
+    /// Whether transfer-fault queries branch (they only occur when the
+    /// config's fault environment is active).
+    pub explore_faults: bool,
+}
+
+impl Domains {
+    /// The candidate answers at `point`, deterministic default first.
+    pub fn candidates(&self, point: &ChoicePoint) -> Vec<Choice> {
+        match point {
+            ChoicePoint::ExecScale { min_ppm, .. } => {
+                let min = (*min_ppm).max(self.exec_scale_min_ppm);
+                if min >= 1_000_000 {
+                    vec![Choice::ExecScale(1_000_000)]
+                } else {
+                    vec![Choice::ExecScale(1_000_000), Choice::ExecScale(min)]
+                }
+            }
+            ChoicePoint::ReleaseJitter { .. } => {
+                if self.jitter_max_cycles == 0 {
+                    vec![Choice::ReleaseJitter(Cycles::ZERO)]
+                } else {
+                    vec![
+                        Choice::ReleaseJitter(Cycles::ZERO),
+                        Choice::ReleaseJitter(Cycles::new(self.jitter_max_cycles)),
+                    ]
+                }
+            }
+            ChoicePoint::TransferFault { .. } => {
+                if self.explore_faults {
+                    vec![Choice::TransferFault(false), Choice::TransferFault(true)]
+                } else {
+                    vec![Choice::TransferFault(false)]
+                }
+            }
+        }
+    }
+}
+
+/// One logged oracle query of an explored run.
+#[derive(Debug, Clone)]
+pub struct ChoiceRecord {
+    /// The decision site.
+    pub point: ChoicePoint,
+    /// The answer given on this path.
+    pub chosen: Choice,
+    /// Untaken candidates, recorded only at novel branch points (a
+    /// revisited or single-candidate point records none).
+    pub alternatives: Vec<Choice>,
+}
+
+/// The shared dominance store: `(state, point)` pairs already expanded.
+///
+/// Exact-fingerprint equality is the dominance relation implemented —
+/// a state dominates (subsumes) another exactly when their canonical
+/// fingerprints at the same choice point are equal, which by the
+/// fingerprint's contract implies identical reachable futures.
+#[derive(Debug, Default)]
+pub struct VisitedSet {
+    seen: HashSet<(StateHash, ChoicePoint)>,
+}
+
+impl VisitedSet {
+    /// An empty store.
+    pub fn new() -> VisitedSet {
+        VisitedSet::default()
+    }
+
+    /// Marks `(state, point)` expanded; `true` when it was novel.
+    pub fn insert(&mut self, state: StateHash, point: ChoicePoint) -> bool {
+        self.seen.insert((state, point))
+    }
+
+    /// Number of distinct expanded pairs — the explorer's state count.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been expanded yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// The oracle that drives one explored path: replays the forced prefix
+/// positionally, then answers deterministic defaults, logging every
+/// query and expanding novel branch points into the visited set.
+pub struct PathOracle<'a> {
+    prefix: Vec<Choice>,
+    domains: &'a Domains,
+    visited: &'a mut VisitedSet,
+    /// Every query of the run, in order, with untaken alternatives.
+    pub log: Vec<ChoiceRecord>,
+    /// Set when a free query hit an already-expanded `(state, point)`:
+    /// the rest of the run stops branching (its subtrees are covered
+    /// from the first visit).
+    pub merged: bool,
+}
+
+impl<'a> PathOracle<'a> {
+    /// An oracle forcing `prefix`, then defaults, against the shared
+    /// `visited` store.
+    pub fn new(prefix: Vec<Choice>, domains: &'a Domains, visited: &'a mut VisitedSet) -> Self {
+        PathOracle {
+            prefix,
+            domains,
+            visited,
+            log: Vec::new(),
+            merged: false,
+        }
+    }
+}
+
+impl SimOracle for PathOracle<'_> {
+    fn choose(&mut self, point: ChoicePoint, state: StateHash) -> Choice {
+        let index = self.log.len();
+        let (chosen, alternatives) = if index < self.prefix.len() {
+            // Forced region: replay; its branch points were expanded by
+            // the run that scheduled this prefix.
+            (self.prefix[index], Vec::new())
+        } else {
+            let mut cands = self.domains.candidates(&point);
+            let chosen = cands[0];
+            let alternatives =
+                if cands.len() > 1 && !self.merged && self.visited.insert(state, point) {
+                    cands.remove(0);
+                    cands
+                } else {
+                    if cands.len() > 1 && !self.merged {
+                        self.merged = true;
+                    }
+                    Vec::new()
+                };
+            (chosen, alternatives)
+        };
+        self.log.push(ChoiceRecord {
+            point,
+            chosen,
+            alternatives,
+        });
+        chosen
+    }
+}
+
+/// Counters of one exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// Complete simulator runs executed (paths).
+    pub runs: usize,
+    /// Distinct canonical `(state, choice-point)` pairs expanded.
+    pub states: usize,
+    /// Oracle queries answered across all runs.
+    pub transitions: u64,
+    /// Whether the schedule space was covered to the horizon. `false`
+    /// means the budget cut exploration short — RTM053, never silently
+    /// safe.
+    pub complete: bool,
+}
+
+/// A replayable counterexample: everything needed to reproduce a
+/// violating run, self-contained.
+///
+/// Replaying `script` through [`Witness::replay`] on either engine
+/// reproduces the violating event at the predicted instant, byte for
+/// byte — the differential cross-validation suite pins this.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Witness {
+    /// Layout tag, always [`WITNESS_SCHEMA`].
+    pub schema: String,
+    /// The violated rule's stable ID (`"RTM050"`, `"RTM051"`, `"RTM052"`).
+    pub rule: String,
+    /// Task index (in the explored set's priority order) of the victim.
+    pub task: usize,
+    /// Job id of the victim.
+    pub job: u64,
+    /// Predicted violation instant in cycles.
+    pub at: u64,
+    /// Dominant interference source of the victim job per the blame
+    /// decomposition of the violating run, when attributable (the
+    /// victim must complete within the horizon to be decomposable).
+    pub dominant_blame: Option<String>,
+    /// The explored task set, in the explored priority order.
+    pub task_set: TaskSet,
+    /// The platform the violation was found on.
+    pub platform: PlatformConfig,
+    /// The exact simulator configuration of the violating run.
+    pub config: SimConfig,
+    /// The full choice script of the violating run, in query order.
+    pub script: Vec<ScriptedChoice>,
+}
+
+impl Witness {
+    /// Re-executes the witnessed run and returns its result. The
+    /// engine is taken from `self.config`; callers cross-validating
+    /// engines override it on a clone of the config.
+    pub fn replay(&self) -> SimResult {
+        self.replay_on(&self.config)
+    }
+
+    /// Re-executes the witnessed run under an alternative simulator
+    /// configuration (typically the same config with the other engine).
+    pub fn replay_on(&self, config: &SimConfig) -> SimResult {
+        let mut oracle = ScriptOracle::new(self.script.clone());
+        simulate_with_oracle(&self.task_set, &self.platform, config, &mut oracle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jitter_domains(max: u64) -> Domains {
+        Domains {
+            exec_scale_min_ppm: 1_000_000,
+            jitter_max_cycles: max,
+            explore_faults: false,
+        }
+    }
+
+    #[test]
+    fn single_candidate_points_do_not_branch() {
+        let d = jitter_domains(0);
+        let p = ChoicePoint::ReleaseJitter { task: 0, job: 0 };
+        assert_eq!(d.candidates(&p).len(), 1);
+        let mut visited = VisitedSet::new();
+        let mut oracle = PathOracle::new(Vec::new(), &d, &mut visited);
+        let c = oracle.choose(p, StateHash(1));
+        assert_eq!(c, Choice::ReleaseJitter(Cycles::ZERO));
+        assert!(oracle.log[0].alternatives.is_empty());
+        assert!(visited.is_empty(), "non-branching points cost no budget");
+    }
+
+    #[test]
+    fn novel_branch_points_expand_once() {
+        let d = jitter_domains(50);
+        let p = ChoicePoint::ReleaseJitter { task: 0, job: 0 };
+        let mut visited = VisitedSet::new();
+        {
+            let mut oracle = PathOracle::new(Vec::new(), &d, &mut visited);
+            assert_eq!(
+                oracle.choose(p, StateHash(1)),
+                Choice::ReleaseJitter(Cycles::ZERO)
+            );
+            assert_eq!(
+                oracle.log[0].alternatives,
+                vec![Choice::ReleaseJitter(Cycles::new(50))]
+            );
+        }
+        // A second path reaching the same (state, point) merges: no
+        // alternatives, and the rest of that path stops expanding.
+        {
+            let mut oracle = PathOracle::new(Vec::new(), &d, &mut visited);
+            oracle.choose(p, StateHash(1));
+            assert!(oracle.log[0].alternatives.is_empty());
+            assert!(oracle.merged);
+            let later = ChoicePoint::ReleaseJitter { task: 0, job: 1 };
+            oracle.choose(later, StateHash(2));
+            assert!(oracle.log[1].alternatives.is_empty());
+        }
+        assert_eq!(visited.len(), 1);
+    }
+
+    #[test]
+    fn same_state_different_points_are_distinct() {
+        // The regression the pair key exists for: a jitter query and an
+        // exec query can see the same fingerprint within one instant.
+        let d = Domains {
+            exec_scale_min_ppm: 500_000,
+            jitter_max_cycles: 50,
+            explore_faults: false,
+        };
+        let mut visited = VisitedSet::new();
+        let mut oracle = PathOracle::new(Vec::new(), &d, &mut visited);
+        let jitter = ChoicePoint::ReleaseJitter { task: 0, job: 0 };
+        let exec = ChoicePoint::ExecScale {
+            task: 0,
+            job: 0,
+            min_ppm: 500_000,
+        };
+        oracle.choose(jitter, StateHash(7));
+        oracle.choose(exec, StateHash(7));
+        assert_eq!(oracle.log[0].alternatives.len(), 1);
+        assert_eq!(oracle.log[1].alternatives.len(), 1, "not merged away");
+        assert_eq!(visited.len(), 2);
+    }
+
+    #[test]
+    fn prefix_region_is_forced_verbatim() {
+        let d = jitter_domains(50);
+        let mut visited = VisitedSet::new();
+        let forced = vec![Choice::ReleaseJitter(Cycles::new(50))];
+        let mut oracle = PathOracle::new(forced, &d, &mut visited);
+        let p = ChoicePoint::ReleaseJitter { task: 0, job: 0 };
+        assert_eq!(
+            oracle.choose(p, StateHash(3)),
+            Choice::ReleaseJitter(Cycles::new(50))
+        );
+        assert!(oracle.log[0].alternatives.is_empty());
+        assert!(visited.is_empty(), "forced region does no bookkeeping");
+    }
+}

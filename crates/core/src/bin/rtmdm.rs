@@ -36,10 +36,18 @@
 //! report instead. The `check` subcommand runs the static
 //! verifier without admitting: `--json` emits the machine-readable
 //! report, `--deny-warnings` escalates warnings to errors, and
-//! `--allow RTM0xx` / `--deny RTM0xx` tune individual rules. Exit
-//! status: 0 on success (schedulable for `admit`, no errors for
-//! `check`), 2 when admission or verification rejects, 1 on usage
-//! errors.
+//! `--allow RTM0xx` / `--deny RTM0xx` tune individual rules.
+//! `check --explain RTM0xx` prints one rule's severity, category,
+//! and description instead of verifying anything (unknown IDs are a
+//! usage error). `check --explore` additionally runs the exhaustive
+//! schedule-space explorer over the admissible interleavings
+//! (`RTM050`–`RTM053`): `--max-states N` bounds the search (the
+//! default is 20000; exceeding the bound reports `RTM053`,
+//! inconclusive rather than silently safe) and `--witness PATH`
+//! writes the replayable counterexample JSON when a violation is
+//! reached. Exit status: 0 on success (schedulable for `admit`, no
+//! errors for `check`), 2 when admission or verification rejects, 1
+//! on usage errors.
 
 use std::process::ExitCode;
 
@@ -58,7 +66,8 @@ fn usage() -> ExitCode {
          [--fault-rate PPM] [--fault-seed N] [--fault-retries N] [--fault-jitter CYCLES] \
          [--miss-policy continue|abort|skip-next] [--engine legacy|des] \
          [--attribution on|off] [--out PATH] [--format chrome|jsonl] [--gantt] \
-         [--json] [--deny-warnings] [--allow RULE] [--deny RULE]"
+         [--json] [--deny-warnings] [--allow RULE] [--deny RULE] [--explain RULE] \
+         [--explore] [--max-states N] [--witness PATH]"
     );
     ExitCode::from(1)
 }
@@ -91,6 +100,10 @@ struct Cli {
     deny_warnings: bool,
     allow: Vec<String>,
     deny: Vec<String>,
+    explain: Option<String>,
+    explore: bool,
+    max_states: Option<usize>,
+    witness: Option<String>,
 }
 
 fn parse_strategy(s: &str) -> Option<Strategy> {
@@ -140,6 +153,10 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
     let mut deny_warnings = false;
     let mut allow = Vec::new();
     let mut deny = Vec::new();
+    let mut explain = None;
+    let mut explore = false;
+    let mut max_states = None;
+    let mut witness = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -253,6 +270,16 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
             "--deny-warnings" => deny_warnings = true,
             "--allow" => allow.push(it.next().ok_or(CliError::Usage)?.clone()),
             "--deny" => deny.push(it.next().ok_or(CliError::Usage)?.clone()),
+            "--explain" => explain = Some(it.next().ok_or(CliError::Usage)?.clone()),
+            "--explore" => explore = true,
+            "--max-states" => {
+                max_states = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(CliError::Usage)?,
+                );
+            }
+            "--witness" => witness = Some(it.next().ok_or(CliError::Usage)?.clone()),
             _ => return Err(CliError::Usage),
         }
     }
@@ -270,6 +297,10 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
         deny_warnings,
         allow,
         deny,
+        explain,
+        explore,
+        max_states,
+        witness,
     })
 }
 
@@ -527,6 +558,41 @@ fn cmd_explain(cli: &Cli, run: &rtmdm_core::RunReport) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Lower-case category label for `check --explain` output.
+fn category_name(c: rtmdm_check::Category) -> &'static str {
+    match c {
+        rtmdm_check::Category::Staging => "staging",
+        rtmdm_check::Category::Plan => "plan",
+        rtmdm_check::Category::Admission => "admission",
+        rtmdm_check::Category::Graph => "graph",
+        rtmdm_check::Category::Platform => "platform",
+        rtmdm_check::Category::Explore => "exploration",
+    }
+}
+
+/// `check --explain RTM0xx`: print one rule's metadata and description.
+///
+/// An unknown ID is a usage error (exit 1), matching `--allow`/`--deny`.
+fn cmd_explain_rule(id: &str) -> ExitCode {
+    let Some(rule) = rtmdm_check::Rule::from_id(id) else {
+        eprintln!("rtmdm: unknown rule `{id}` in --explain");
+        return ExitCode::from(1);
+    };
+    println!(
+        "{} ({}, {}, {})",
+        rule.id(),
+        rule.default_severity(),
+        category_name(rule.category()),
+        if rule.blocks_admission() {
+            "blocks admission"
+        } else {
+            "non-blocking"
+        }
+    );
+    println!("  {}", rule.summary());
+    ExitCode::SUCCESS
+}
+
 /// Run the static verifier over the spec without admitting it.
 ///
 /// Unlike the other subcommands, `check` does not go through
@@ -535,6 +601,13 @@ fn cmd_explain(cli: &Cli, run: &rtmdm_core::RunReport) -> ExitCode {
 /// re-parsed with the bundled `serde_json` before printing, mirroring
 /// the `trace` export validation.
 fn cmd_check(cli: &Cli) -> ExitCode {
+    if let Some(id) = &cli.explain {
+        return cmd_explain_rule(id);
+    }
+    if cli.tasks.is_empty() {
+        eprintln!("rtmdm: at least one --task is required");
+        return usage();
+    }
     let mut filter = rtmdm_check::RuleFilter::new();
     for id in &cli.allow {
         match rtmdm_check::Rule::from_id(id) {
@@ -561,7 +634,40 @@ fn cmd_check(cli: &Cli) -> ExitCode {
     for task in &cli.tasks {
         spec.push(task.clone());
     }
-    let report = filter.apply(&spec.check());
+    let check_options = rtmdm_core::CheckOptions {
+        explore: cli.explore.then(|| rtmdm_core::ExploreOptions {
+            max_states: cli
+                .max_states
+                .unwrap_or_else(|| rtmdm_core::ExploreOptions::default().max_states),
+            // `--jitter PCT` means the same thing it means for
+            // `simulate`: jobs may run anywhere down to this fraction
+            // below WCET. The explorer turns that into a per-job
+            // execution-time choice dimension.
+            exec_scale_min_ppm: 1_000_000 - cli.jitter_pct * 10_000,
+            ..rtmdm_core::ExploreOptions::default()
+        }),
+    };
+    let outcome = spec.check_with(&check_options);
+    let report = filter.apply(&outcome.report);
+    // The witness export mirrors the trace export: round-tripped
+    // through the bundled `serde_json` before the file is trusted.
+    if let Some(path) = &cli.witness {
+        match &outcome.witness {
+            Some(w) => {
+                let json = serde_json::to_string(w).expect("witness serializes");
+                if let Err(e) = serde_json::from_str::<rtmdm_check::Witness>(&json) {
+                    eprintln!("rtmdm: witness failed JSON validation: {e:?}");
+                    return ExitCode::from(2);
+                }
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("rtmdm: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("rtmdm: wrote witness to {path}");
+            }
+            None => eprintln!("rtmdm: no witness to write (no violation reached)"),
+        }
+    }
     if cli.json {
         let json = report.to_json();
         if let Err(e) = serde_json::from_str::<rtmdm_check::JsonReport>(&json) {
@@ -571,6 +677,21 @@ fn cmd_check(cli: &Cli) -> ExitCode {
         println!("{json}");
     } else {
         println!("{}", report.render_text());
+        if let Some(stats) = &outcome.explore_stats {
+            println!(
+                "explored {} states over {} runs ({} transitions): {}",
+                stats.states,
+                stats.runs,
+                stats.transitions,
+                if stats.complete {
+                    "complete"
+                } else if outcome.witness.is_some() {
+                    "stopped at first violation"
+                } else {
+                    "state budget exceeded"
+                }
+            );
+        }
     }
     if report.error_count() > 0 {
         ExitCode::from(2)
@@ -602,12 +723,14 @@ fn main() -> ExitCode {
     if cmd == "explain" {
         cli.options.attribution = true;
     }
+    // `check` validates its own task requirement so that
+    // `check --explain RTM0xx` works without a spec.
+    if cmd == "check" {
+        return cmd_check(&cli);
+    }
     if cli.tasks.is_empty() {
         eprintln!("rtmdm: at least one --task is required");
         return usage();
-    }
-    if cmd == "check" {
-        return cmd_check(&cli);
     }
     let fw = match build(&cli) {
         Ok(fw) => fw,

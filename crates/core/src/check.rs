@@ -23,10 +23,12 @@
 
 use rtmdm_check::{
     check_model, check_plan, check_platform, check_sram_regions, check_staging, check_taskset,
-    check_timing, AdmissionContext, Finding, Report, Rule, SramRegion,
+    check_timing, AdmissionContext, ExploreLimits, ExploreStats, Finding, Report, Rule, SramRegion,
+    Witness,
 };
-use rtmdm_mcusim::PlatformConfig;
-use rtmdm_sched::sim::Policy;
+use rtmdm_mcusim::{Cycles, PlatformConfig};
+use rtmdm_sched::analysis::hyperperiod;
+use rtmdm_sched::sim::{Policy, SimConfig};
 use rtmdm_sched::TaskSet;
 use rtmdm_xmem::SramArena;
 
@@ -35,6 +37,68 @@ use crate::framework::{
     compute_cap_for, lower_spec, priority_order_for, weight_region_bytes, FrameworkOptions, RtMdm,
 };
 use crate::spec::{Strategy, TaskSpec};
+
+/// Parameters of the opt-in exhaustive schedule-space exploration
+/// (`RTM05x`), run by [`SystemSpec::check_with`] after the static
+/// passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreOptions {
+    /// Budget on distinct canonical `(state, choice-point)` pairs;
+    /// exceeding it yields `RTM053` (inconclusive, never silently
+    /// safe).
+    pub max_states: usize,
+    /// Upper endpoint of the release-jitter dimension, in microseconds;
+    /// zero (the default) keeps arrivals strictly periodic.
+    pub jitter_max_us: u64,
+    /// Lower endpoint of the per-job execution-time interval, in ppm of
+    /// WCET; `1_000_000` (the default) pins every job at WCET.
+    pub exec_scale_min_ppm: u64,
+    /// Exploration horizon in microseconds. `None` (the default)
+    /// derives it as one hyperperiod plus the largest deadline, falling
+    /// back to three times the largest period when the hyperperiod
+    /// overflows (that fallback is a bounded probe, not full coverage —
+    /// the admission lint `RTM025` already flags such sets).
+    pub horizon_us: Option<u64>,
+    /// Staging-window width handed to the simulator; the default `2` is
+    /// the double-buffer discipline. Wider windows exist for `RTM051`
+    /// reachability experiments.
+    pub staging_window: u32,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> ExploreOptions {
+        ExploreOptions {
+            max_states: 20_000,
+            jitter_max_us: 0,
+            exec_scale_min_ppm: 1_000_000,
+            horizon_us: None,
+            staging_window: 2,
+        }
+    }
+}
+
+/// Options for [`SystemSpec::check_with`]; the default runs exactly the
+/// static passes of [`SystemSpec::check`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// When set, runs the exhaustive schedule-space explorer after the
+    /// static passes (on a spec free of blocking structural errors).
+    pub explore: Option<ExploreOptions>,
+}
+
+/// The result of [`SystemSpec::check_with`]: the diagnostic report plus
+/// the exploration artifacts when exploration ran.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// All findings — static passes first, exploration verdicts after.
+    pub report: Report,
+    /// The replayable counterexample behind an `RTM050`–`RTM052`
+    /// finding.
+    pub witness: Option<Witness>,
+    /// Search counters; `None` when exploration did not run (not
+    /// requested, or the spec had blocking structural errors).
+    pub explore_stats: Option<ExploreStats>,
+}
 
 /// A complete system specification for static verification: what
 /// [`RtMdm`] admission consumes, but constructible without going
@@ -149,6 +213,86 @@ impl SystemSpec {
         report
     }
 
+    /// Runs the static passes, then — when requested and the spec has
+    /// no blocking structural errors — the exhaustive schedule-space
+    /// explorer over the lowered, priority-ordered task set.
+    ///
+    /// Exploration findings (`RTM050`–`RTM053`) are appended to the
+    /// report; a violation additionally carries a self-contained
+    /// [`Witness`] that replays the violating run byte for byte.
+    pub fn check_with(&self, options: &CheckOptions) -> CheckOutcome {
+        let report = self.check();
+        let Some(x) = &options.explore else {
+            return CheckOutcome {
+                report,
+                witness: None,
+                explore_stats: None,
+            };
+        };
+        // A structurally broken spec cannot be lowered and simulated;
+        // the blocking findings already tell the whole story.
+        let ordered = if report.blocks_admission() {
+            None
+        } else {
+            self.lowered_ordered()
+        };
+        let Some(ordered) = ordered else {
+            return CheckOutcome {
+                report,
+                witness: None,
+                explore_stats: None,
+            };
+        };
+        let horizon = match x.horizon_us {
+            Some(us) => self.platform.cpu.cycles_from_micros(us),
+            None => auto_horizon(&ordered),
+        };
+        let config = SimConfig {
+            horizon,
+            policy: self.options.policy,
+            exec_scale_min_ppm: x.exec_scale_min_ppm,
+            seed: 0,
+            work_conserving: self.options.work_conserving,
+            fault: self.options.fault,
+            engine: self.options.engine,
+            attribution: true,
+            staging_window: x.staging_window,
+        };
+        let limits = ExploreLimits {
+            max_states: x.max_states,
+            jitter_max_cycles: self.platform.cpu.cycles_from_micros(x.jitter_max_us).get(),
+        };
+        let outcome = rtmdm_check::explore(&ordered, &self.platform, &config, &limits);
+        let mut report = report;
+        report.extend(outcome.findings);
+        CheckOutcome {
+            report,
+            witness: outcome.witness,
+            explore_stats: Some(outcome.stats),
+        }
+    }
+
+    /// Lowers every task exactly as admission would and returns the
+    /// priority-ordered set, or `None` when any task fails to lower or
+    /// the spec is empty (the static passes report why).
+    fn lowered_ordered(&self) -> Option<TaskSet> {
+        let cap = compute_cap_for(&self.platform, &self.options, &self.tasks);
+        let mut tasks = Vec::with_capacity(self.tasks.len());
+        for spec in &self.tasks {
+            tasks.push(
+                lower_spec(&self.platform, &self.options, spec, cap)
+                    .ok()?
+                    .task,
+            );
+        }
+        if tasks.is_empty() {
+            return None;
+        }
+        let ts = TaskSet::from_tasks(tasks);
+        let order = priority_order_for(&self.platform, &self.options, &ts);
+        Some(ts.reordered(&order))
+    }
+
     /// Replays the SRAM layout through the arena allocator and checks
     /// the placed regions for aliasing and overflow.
     fn check_sram(&self) -> Vec<Finding> {
@@ -188,17 +332,48 @@ impl SystemSpec {
     }
 }
 
+/// One hyperperiod plus the largest deadline — the synchronous-pattern
+/// coverage horizon — or three times the largest period when the
+/// hyperperiod overflows the simulation cap.
+fn auto_horizon(ts: &TaskSet) -> Cycles {
+    let d_max = ts
+        .tasks()
+        .iter()
+        .map(|t| t.deadline)
+        .max()
+        .unwrap_or(Cycles::ZERO);
+    let p_max = ts
+        .tasks()
+        .iter()
+        .map(|t| t.period)
+        .max()
+        .unwrap_or(Cycles::ZERO);
+    match hyperperiod(ts).and_then(|h| h.checked_add(d_max)) {
+        Some(h) => h,
+        None => p_max * 3,
+    }
+}
+
 impl RtMdm {
     /// Runs the static verifier over this framework's platform, options,
     /// and task specifications. [`RtMdm::admit`] calls this implicitly
     /// and rejects on error-level structural findings.
     pub fn check(&self) -> Report {
+        self.system_spec().check()
+    }
+
+    /// [`RtMdm::check`] plus the opt-in exhaustive schedule-space
+    /// exploration (see [`SystemSpec::check_with`]).
+    pub fn check_with(&self, options: &CheckOptions) -> CheckOutcome {
+        self.system_spec().check_with(options)
+    }
+
+    fn system_spec(&self) -> SystemSpec {
         SystemSpec {
             platform: self.platform().clone(),
             options: self.options().clone(),
             tasks: self.specs().to_vec(),
         }
-        .check()
     }
 }
 
@@ -285,6 +460,63 @@ mod tests {
         assert!(!report.blocks_admission(), "{}", report.render_text());
         let admission = f.admit().expect("admission proceeds");
         assert!(!admission.schedulable());
+    }
+
+    #[test]
+    fn explore_admitted_cell_is_proven_safe() {
+        let mut spec = SystemSpec::new(platform());
+        spec.push(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 100_000));
+        spec.push(TaskSpec::new("ic", zoo::resnet8(), 400_000, 400_000));
+        let outcome = spec.check_with(&CheckOptions {
+            explore: Some(ExploreOptions::default()),
+        });
+        assert!(
+            outcome.report.is_clean(),
+            "{}",
+            outcome.report.render_text()
+        );
+        let stats = outcome.explore_stats.expect("exploration ran");
+        assert!(stats.complete, "default lattice must be covered");
+        assert!(outcome.witness.is_none());
+    }
+
+    #[test]
+    fn explore_overload_yields_rtm050_with_replayable_witness() {
+        let mut spec = SystemSpec::new(platform());
+        spec.push(TaskSpec::new("ic", zoo::resnet8(), 10_000, 10_000));
+        let outcome = spec.check_with(&CheckOptions {
+            explore: Some(ExploreOptions::default()),
+        });
+        assert!(
+            outcome
+                .report
+                .findings
+                .iter()
+                .any(|f| f.rule == Rule::Rtm050),
+            "{}",
+            outcome.report.render_text()
+        );
+        let w = outcome.witness.expect("violation carries a witness");
+        let replay = w.replay();
+        let miss = replay
+            .trace
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, rtmdm_mcusim::TraceKind::DeadlineMissed { .. }))
+            .expect("replay reproduces the miss");
+        assert_eq!(miss.time.get(), w.at);
+    }
+
+    #[test]
+    fn explore_skips_structurally_broken_specs() {
+        let mut spec = SystemSpec::new(platform());
+        spec.push(TaskSpec::new("kws", zoo::ds_cnn(), 100_000, 200_000));
+        let outcome = spec.check_with(&CheckOptions {
+            explore: Some(ExploreOptions::default()),
+        });
+        assert!(outcome.report.blocks_admission());
+        assert!(outcome.explore_stats.is_none(), "nothing to simulate");
+        assert!(outcome.witness.is_none());
     }
 
     #[test]

@@ -413,6 +413,7 @@ impl RtMdm {
             fault: self.options.fault,
             engine: self.options.engine,
             attribution: self.options.attribution,
+            staging_window: 2,
         };
         let result = simulate(&ordered, &self.platform, &config);
         Ok(RunReport {

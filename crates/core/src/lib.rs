@@ -55,7 +55,7 @@ pub mod report;
 mod spec;
 
 pub use advisor::OptimizeOutcome;
-pub use check::SystemSpec;
+pub use check::{CheckOptions, CheckOutcome, ExploreOptions, SystemSpec};
 pub use error::AdmitError;
 pub use framework::{Admission, FrameworkOptions, PriorityAssignment, RtMdm, RunReport, SramRow};
 pub use spec::{Strategy, TaskSpec};

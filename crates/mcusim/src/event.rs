@@ -105,6 +105,16 @@ impl<T> EventQueue<T> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// A non-destructive snapshot of the pending events in exactly the
+    /// order `pop` would drain them (time order, FIFO among ties).
+    /// Used by state-space exploration to fingerprint the pending-event
+    /// set canonically; `O(n log n)` per call, so not for hot loops.
+    pub fn ordered(&self) -> Vec<(Cycles, &T)> {
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        entries.into_iter().map(|e| (e.time, &e.payload)).collect()
+    }
 }
 
 impl<T> Default for EventQueue<T> {
@@ -212,6 +222,22 @@ mod tests {
             assert_eq!(c.pop(), Some(orig));
         }
         assert_eq!(c.pop(), None);
+    }
+
+    /// `ordered` must present exactly the drain order without consuming
+    /// the queue.
+    #[test]
+    fn ordered_matches_drain_order() {
+        let mut q = EventQueue::new();
+        for (i, &t) in [4u64, 2, 4, 2, 9, 4, 2].iter().enumerate() {
+            q.push(Cycles::new(t), i);
+        }
+        let snapshot: Vec<(u64, usize)> = q.ordered().iter().map(|&(t, &v)| (t.get(), v)).collect();
+        let mut drained = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            drained.push((t.get(), v));
+        }
+        assert_eq!(snapshot, drained);
     }
 
     /// Differential check against a stable-sort reference model: for a

@@ -89,6 +89,7 @@ pub fn sync_simulation_accepts(
         fault: rtmdm_mcusim::FaultPlan::NONE,
         engine: crate::sim::Engine::default(),
         attribution: false,
+        staging_window: 2,
     };
     let run = simulate(ts, platform, &config);
     Some(run.no_misses())

@@ -57,6 +57,7 @@ pub mod analysis;
 pub mod assign;
 pub mod baseline;
 pub mod gen;
+pub mod script;
 pub mod sim;
 mod task;
 

@@ -67,6 +67,7 @@ use rtmdm_mcusim::{
     TraceKind,
 };
 
+use crate::script::{ChoicePoint, SimOracle, StableHash, StateHash};
 use crate::task::{MissPolicy, StagingMode, TaskSet};
 
 /// Scheduling policy of the CPU (and the DMA request queue).
@@ -140,6 +141,21 @@ pub struct SimConfig {
     /// way.
     #[serde(default)]
     pub attribution: bool,
+    /// Width of the staging window under [`StagingMode::Overlapped`]:
+    /// fetch `k` becomes admissible once compute of segment `k − w` has
+    /// retired (fetches `0..w` are admissible immediately). The default
+    /// `2` is the paper's double-buffer discipline, matched to the two
+    /// physical buffer halves — and the only safe width: a wider window
+    /// lets the DMA write a half whose previous tenant is still staged
+    /// or being read, which the always-on race monitor records in
+    /// [`SimResult::races`]. Widths other than 2 exist for the
+    /// schedule-space explorer's negative tests (RTM051 reachability).
+    #[serde(default = "default_staging_window")]
+    pub staging_window: u32,
+}
+
+fn default_staging_window() -> u32 {
+    2
 }
 
 impl SimConfig {
@@ -154,6 +170,7 @@ impl SimConfig {
             fault: FaultPlan::NONE,
             engine: Engine::default(),
             attribution: false,
+            staging_window: default_staging_window(),
         }
     }
 
@@ -184,6 +201,48 @@ impl SimConfig {
         self.attribution = attribution;
         self
     }
+
+    /// Overrides the staging-window width (builder style; see
+    /// [`SimConfig::staging_window`]). Widths other than 2 are for
+    /// directed race-reachability experiments only.
+    #[must_use]
+    pub fn with_staging_window(mut self, window: u32) -> Self {
+        self.staging_window = window;
+        self
+    }
+}
+
+/// What a recorded staging race clobbered (see [`StagingRace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RaceKind {
+    /// The DMA wrote the buffer half the CPU was reading from (compute
+    /// of another segment mapped to the same half was in flight).
+    CpuRead,
+    /// The DMA overwrote a segment that was staged but not yet
+    /// consumed — its data is lost before compute ever reads it.
+    StagedUnconsumed,
+}
+
+/// A double-buffer discipline violation observed by the simulator's
+/// always-on race monitor: a DMA write into a buffer half whose
+/// previous tenant segment was still live. Provably unreachable at the
+/// default [`SimConfig::staging_window`] of 2 (the monitor is the
+/// runtime witness of that claim); reachable — and recorded — under
+/// wider experimental windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagingRace {
+    /// Instant the overlap began.
+    pub at: Cycles,
+    /// Task whose buffers raced.
+    pub task: usize,
+    /// Owning job id.
+    pub job: u64,
+    /// Segment the DMA was writing.
+    pub write_seg: usize,
+    /// Live segment in the same buffer half that got clobbered.
+    pub clobbered_seg: usize,
+    /// Which way the half was still live.
+    pub kind: RaceKind,
 }
 
 /// Per-task simulation statistics.
@@ -351,6 +410,10 @@ pub struct SimResult {
     pub stats: Vec<TaskStats>,
     /// Aggregate resource metrics of the run.
     pub metrics: SimMetrics,
+    /// Staging races the always-on monitor observed — empty at the
+    /// default staging window (see [`StagingRace`]).
+    #[serde(default)]
+    pub races: Vec<StagingRace>,
 }
 
 impl SimResult {
@@ -379,6 +442,13 @@ const PPM: u64 = 1_000_000;
 enum TimedEvent {
     Release(usize),
     DeadlineCheck(usize, u64),
+    /// Oracle mode only: a job whose release the oracle jittered enters
+    /// the system at this instant; `nominal` anchors its deadline.
+    JitteredRelease {
+        task: usize,
+        id: u64,
+        nominal: Cycles,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -485,6 +555,12 @@ struct Sim<'a> {
     /// Fault decisions for DMA transfers; inactive injectors answer
     /// every query with a constant zero and touch no RNG.
     injector: FaultInjector,
+    /// Choice oracle (`simulate_with_oracle`): when present, it — not
+    /// the RNG or the injector — answers every nondeterministic
+    /// question, and the run consults no RNG at all.
+    oracle: Option<&'a mut dyn SimOracle>,
+    /// Staging-race observations (see [`StagingRace`]).
+    races: Vec<StagingRace>,
 
     // --- deferred-settlement state (Engine::Des; see DESIGN.md) -----------
     /// Instant up to which busy/stall accounting and resource progress
@@ -548,6 +624,32 @@ struct Sim<'a> {
 /// # }
 /// ```
 pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> SimResult {
+    run_sim(ts, platform, config, None)
+}
+
+/// Runs the simulation with every nondeterministic decision answered by
+/// `oracle` instead of the seeded RNG and the fault injector (see
+/// [`crate::script`]). The engines consult the oracle in their shared,
+/// deterministic event order, so the query sequence — and therefore a
+/// replayed run — is identical under [`Engine::Legacy`] and
+/// [`Engine::Des`]. An oracle that answers every query with its
+/// deterministic default produces a run byte-identical to
+/// [`simulate`] of the same config (pinned by tests).
+pub fn simulate_with_oracle(
+    ts: &TaskSet,
+    platform: &PlatformConfig,
+    config: &SimConfig,
+    oracle: &mut dyn SimOracle,
+) -> SimResult {
+    run_sim(ts, platform, config, Some(oracle))
+}
+
+fn run_sim<'a>(
+    ts: &'a TaskSet,
+    platform: &'a PlatformConfig,
+    config: &'a SimConfig,
+    oracle: Option<&'a mut dyn SimOracle>,
+) -> SimResult {
     let mut sim = Sim {
         ts,
         platform,
@@ -575,6 +677,8 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
         idle_open: false,
         rng: StdRng::seed_from_u64(config.seed),
         injector: FaultInjector::new(config.fault),
+        oracle,
+        races: Vec::new(),
         settled_to: Cycles::ZERO,
         cpu_fin: None,
         dma_fin: None,
@@ -595,6 +699,7 @@ pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> 
         horizon: config.horizon,
         stats: sim.stats,
         metrics: sim.metrics,
+        races: sim.races,
     };
     flush_global_metrics(&result, config.engine);
     result
@@ -692,6 +797,12 @@ impl Sim<'_> {
         match ev {
             TimedEvent::Release(task) => self.release(task),
             TimedEvent::DeadlineCheck(task, job_id) => self.deadline_check(task, job_id),
+            TimedEvent::JitteredRelease { task, id, nominal } => {
+                let abs_deadline = nominal + self.ts.tasks()[task].deadline;
+                // The next periodic release was already scheduled when
+                // the jitter was drawn; only the job entry happens here.
+                self.admit_job(task, id, nominal, abs_deadline, false);
+            }
         }
     }
 
@@ -1029,11 +1140,79 @@ impl Sim<'_> {
             return;
         }
 
+        // Release jitter is an oracle-only capability: default runs are
+        // strictly periodic, so none of this path exists for them and
+        // their event order is untouched.
+        if self.oracle.is_some() {
+            let state = self.oracle_state_hash();
+            let point = ChoicePoint::ReleaseJitter {
+                task: task_idx,
+                job: id,
+            };
+            let jitter = self
+                .oracle
+                .as_deref_mut()
+                .expect("oracle checked above")
+                .choose(point, state)
+                .release_jitter_or_zero();
+            // Clamp the entry instant into the horizon so the jittered
+            // event is always processed (a past-horizon entry would
+            // silently drop the job and its deadline check with it).
+            let jitter = jitter.min(self.config.horizon.saturating_sub(release));
+            if !jitter.is_zero() {
+                let next_release = self.tasks[task_idx].next_release;
+                self.schedule(
+                    release + jitter,
+                    TimedEvent::JitteredRelease {
+                        task: task_idx,
+                        id,
+                        nominal: release,
+                    },
+                );
+                self.schedule(next_release, TimedEvent::Release(task_idx));
+                return;
+            }
+        }
+        self.admit_job(task_idx, id, release, abs_deadline, true);
+    }
+
+    /// A released job enters the system: its execution-time scale is
+    /// drawn (RNG, or the oracle when attached), the job joins its
+    /// task's queue, and its deadline check is scheduled. `release` is
+    /// the *nominal* release instant — under oracle-drawn jitter the
+    /// entry instant `self.now` is later, while the deadline (and the
+    /// response-time accounting) stays anchored at the nominal release.
+    /// `schedule_next` preserves the original event order of the
+    /// unjittered path, where the next periodic release is scheduled
+    /// right after the deadline check.
+    fn admit_job(
+        &mut self,
+        task_idx: usize,
+        id: u64,
+        release: Cycles,
+        abs_deadline: Cycles,
+        schedule_next: bool,
+    ) {
         let scale = if self.config.exec_scale_min_ppm >= PPM {
             PPM
+        } else if self.oracle.is_some() {
+            let min_ppm = self.config.exec_scale_min_ppm;
+            let state = self.oracle_state_hash();
+            let point = ChoicePoint::ExecScale {
+                task: task_idx,
+                job: id,
+                min_ppm,
+            };
+            self.oracle
+                .as_deref_mut()
+                .expect("oracle checked above")
+                .choose(point, state)
+                .exec_scale_or(PPM)
+                .clamp(min_ppm, PPM)
         } else {
             self.rng.gen_range(self.config.exec_scale_min_ppm..=PPM)
         };
+        let task = &self.ts.tasks()[task_idx];
         let seg_compute: Vec<Cycles> = task
             .segments
             .iter()
@@ -1047,6 +1226,7 @@ impl Sim<'_> {
             StagingMode::Resident => n,
             StagingMode::Overlapped => 0,
         };
+        let state = &mut self.tasks[task_idx];
         state.jobs.push_back(Job {
             id,
             release,
@@ -1069,8 +1249,17 @@ impl Sim<'_> {
                 deadline: abs_deadline,
             },
         );
-        self.schedule(abs_deadline, TimedEvent::DeadlineCheck(task_idx, id));
-        self.schedule(next_release, TimedEvent::Release(task_idx));
+        // `max(now)`: a job entering after its deadline (jitter beyond
+        // the relative deadline) must still get its check — scheduling
+        // it in the past would silently drop the miss. Identical to
+        // `abs_deadline` on the unjittered path, where `now == release`.
+        self.schedule(
+            abs_deadline.max(self.now),
+            TimedEvent::DeadlineCheck(task_idx, id),
+        );
+        if schedule_next {
+            self.schedule(next_release, TimedEvent::Release(task_idx));
+        }
 
         // Kick off the first fetch of the *head* job only; queued-behind
         // jobs start fetching when they reach the head.
@@ -1226,11 +1415,34 @@ impl Sim<'_> {
         self.dma_dirty = true;
         let d = self.dma.take().expect("dma completion without transfer");
         let head_id = self.tasks[d.task].jobs.front().map(|j| j.id);
-        if head_id == Some(d.job)
-            && self
-                .injector
-                .transfer_faults(d.task, d.job, d.seg, d.attempt)
-        {
+        let faulted = head_id == Some(d.job)
+            && if self.oracle.is_some() {
+                // The oracle decides, under the injector's own contract:
+                // only while the fault environment is active, and never
+                // at the retry budget (those attempts must succeed).
+                if self.config.fault.dma_fault_rate_ppm > 0
+                    && d.attempt < self.config.fault.max_retries
+                {
+                    let state = self.oracle_state_hash();
+                    let point = ChoicePoint::TransferFault {
+                        task: d.task,
+                        job: d.job,
+                        seg: d.seg,
+                        attempt: d.attempt,
+                    };
+                    self.oracle
+                        .as_deref_mut()
+                        .expect("oracle checked above")
+                        .choose(point, state)
+                        .transfer_fault_or_false()
+                } else {
+                    false
+                }
+            } else {
+                self.injector
+                    .transfer_faults(d.task, d.job, d.seg, d.attempt)
+            };
+        if faulted {
             // The transfer delivered corrupt data: re-issue it in full.
             // The retry re-targets the same buffer half — it *replaces*
             // fetch `d.seg` in the two-ahead window instead of advancing
@@ -1414,9 +1626,12 @@ impl Sim<'_> {
         if next_fetch >= n {
             return;
         }
-        // Two-ahead double-buffer window: fetch k admissible once
-        // next_seg ≥ k − 1 (compute of k−2 retired its buffer half).
-        let allowed = next_fetch < 2 || job.next_seg + 1 >= next_fetch;
+        // Staging window of width w (default 2, the two-ahead
+        // double-buffer discipline): fetch k admissible once next_seg ≥
+        // k − (w − 1), i.e. compute of k − w retired its buffer half.
+        // Fetches 0..w are admissible immediately.
+        let w = (self.config.staging_window.max(1)) as usize;
+        let allowed = next_fetch < w || job.next_seg + w > next_fetch;
         if !allowed {
             return;
         }
@@ -1533,6 +1748,59 @@ impl Sim<'_> {
                 deadline: req.deadline,
                 credit: req.credit,
             });
+            self.note_staging_races();
+        }
+    }
+
+    /// The always-on staging-race monitor: whenever a resource is
+    /// (re)dispatched while the DMA streams segment `s` of some task,
+    /// checks that the buffer half `s` targets (`s mod 2` of the two
+    /// physical halves) holds no *live* segment of the same task — live
+    /// meaning either being read by the CPU right now, or staged ahead
+    /// but not yet consumed. At the default window of 2 the discipline
+    /// makes this impossible (fetch `k` waits for compute of `k − 2`),
+    /// so the monitor records nothing and default results are
+    /// untouched; wider experimental windows make the overlap reachable
+    /// and every occurrence lands in [`SimResult::races`] exactly once
+    /// per `(job, write, clobbered)` triple.
+    fn note_staging_races(&mut self) {
+        let Some(d) = self.dma else { return };
+        let Some(job) = self.tasks[d.task].jobs.front() else {
+            return;
+        };
+        if job.id != d.job {
+            return;
+        }
+        let mut hits: Vec<(usize, RaceKind)> = Vec::new();
+        if let Some(c) = self.cpu {
+            if c.task == d.task && c.seg != d.seg && c.seg % 2 == d.seg % 2 {
+                hits.push((c.seg, RaceKind::CpuRead));
+            }
+        }
+        for live in job.next_seg..job.staged {
+            if live != d.seg && live % 2 == d.seg % 2 {
+                hits.push((live, RaceKind::StagedUnconsumed));
+            }
+        }
+        for (clobbered_seg, kind) in hits {
+            let race = StagingRace {
+                at: self.now,
+                task: d.task,
+                job: d.job,
+                write_seg: d.seg,
+                clobbered_seg,
+                kind,
+            };
+            let dup = self.races.iter().any(|r| {
+                r.task == race.task
+                    && r.job == race.job
+                    && r.write_seg == race.write_seg
+                    && r.clobbered_seg == race.clobbered_seg
+                    && r.kind == race.kind
+            });
+            if !dup {
+                self.races.push(race);
+            }
         }
     }
 
@@ -1655,6 +1923,8 @@ impl Sim<'_> {
                 segment: SegmentId(seg),
             },
         );
+        // The claim may overlap an in-flight DMA write of this task.
+        self.note_staging_races();
         // Double buffer frees now: prefetch the next segment.
         self.maybe_request_fetch(task_idx);
         self.dispatch_dma();
@@ -1666,6 +1936,119 @@ impl Sim<'_> {
             .front()
             .map(|j| j.next_seg > 0 && j.next_seg < j.seg_compute.len())
             .unwrap_or(false)
+    }
+
+    // --- state fingerprinting (oracle mode) --------------------------------
+
+    /// Canonicalizes and fingerprints the simulator's dynamic state for
+    /// an oracle query. Settles the deferred stretch first (`touch` is
+    /// results-invariant by the floor-carry identity, so forcing it
+    /// here never perturbs the run) so sub-cycle credits and
+    /// `settled_to` are canonical, then hashes exactly the state that
+    /// determines future behavior: the clock, every task's release
+    /// bookkeeping and job queue, both resource slots, the DMA request
+    /// queue in its tie-breaking order, the dispatcher memory
+    /// (`last_cpu_task`), and the pending-event set in drain order.
+    /// Traces, statistics, and metrics are deliberately excluded — they
+    /// record the past. The engine-private flags `needs_dispatch` and
+    /// `idle_open` are excluded too: the legacy loop dispatches every
+    /// cut while the DES loop toggles them as an optimization, so they
+    /// differ across engines at equal semantic states — and both are
+    /// results-invariant (pinned by the legacy/DES differential tests),
+    /// so equal hashes still imply identical future behavior. This is
+    /// what makes the fingerprint sequence engine-identical, which the
+    /// `oracle_state_hashes_are_engine_identical` test pins.
+    ///
+    /// Only called in oracle mode, at most once per choice point, so
+    /// the `O(state)` walk never taxes default runs.
+    fn oracle_state_hash(&mut self) -> StateHash {
+        self.touch();
+        let mut h = StableHash::new();
+        h.mix(self.now.get());
+        for t in &self.tasks {
+            h.mix(t.next_release.get());
+            h.mix(t.released);
+            h.mix_bool(t.skip_next);
+            match t.wait_open {
+                None => h.mix_opt(None),
+                Some((job, seg)) => {
+                    h.mix_opt(Some(job));
+                    h.mix(seg as u64);
+                }
+            }
+            h.mix(t.jobs.len() as u64);
+            for j in &t.jobs {
+                h.mix(j.id);
+                h.mix(j.release.get());
+                h.mix(j.abs_deadline.get());
+                h.mix(j.next_seg as u64);
+                h.mix(j.staged as u64);
+                h.mix(j.fetch_requested as u64);
+                h.mix_bool(j.miss_recorded);
+                h.mix_bool(j.abort_pending);
+                h.mix(j.seg_compute.len() as u64);
+                for c in &j.seg_compute {
+                    h.mix(c.get());
+                }
+            }
+        }
+        match self.cpu {
+            None => h.mix_opt(None),
+            Some(c) => {
+                h.mix_opt(Some(c.task as u64));
+                h.mix(c.seg as u64);
+                h.mix(c.remaining.get());
+                h.mix(c.credit);
+                h.mix(c.started.get());
+                h.mix(c.nominal.get());
+            }
+        }
+        match self.dma {
+            None => h.mix_opt(None),
+            Some(d) => {
+                h.mix_opt(Some(d.task as u64));
+                h.mix(d.seg as u64);
+                h.mix(d.job);
+                h.mix(u64::from(d.attempt));
+                h.mix(d.remaining.get());
+                h.mix(d.deadline.get());
+                h.mix(d.credit);
+            }
+        }
+        h.mix(self.dma_queue.len() as u64);
+        for r in &self.dma_queue {
+            h.mix(r.task as u64);
+            h.mix(r.seg as u64);
+            h.mix(r.job);
+            h.mix(u64::from(r.attempt));
+            h.mix(r.work.get());
+            h.mix(r.deadline.get());
+            h.mix(r.credit);
+        }
+        h.mix_opt(self.last_cpu_task.map(|t| t as u64));
+        let pending = self.events.ordered();
+        h.mix(pending.len() as u64);
+        for (time, ev) in pending {
+            h.mix(time.get());
+            match *ev {
+                TimedEvent::Release(task) => {
+                    h.mix(0);
+                    h.mix(task as u64);
+                }
+                TimedEvent::DeadlineCheck(task, job) => {
+                    h.mix(1);
+                    h.mix(task as u64);
+                    h.mix(job);
+                }
+                TimedEvent::JitteredRelease { task, id, nominal } => {
+                    h.mix(2);
+                    h.mix(task as u64);
+                    h.mix(id);
+                    h.mix(nominal.get());
+                }
+            }
+        }
+        h.finish()
     }
 }
 
@@ -1870,6 +2253,7 @@ mod tests {
             fault: FaultPlan::NONE,
             engine: Engine::Des,
             attribution: false,
+            staging_window: 2,
         };
         let p = bare_platform();
         let r1 = simulate(&ts, &p, &cfg);
@@ -1891,6 +2275,7 @@ mod tests {
             fault: FaultPlan::NONE,
             engine: Engine::Des,
             attribution: false,
+            staging_window: 2,
         };
         let r1 = simulate(&ts, &p, &mk(1));
         let r2 = simulate(&ts, &p, &mk(2));
@@ -1921,6 +2306,7 @@ mod tests {
                     fault: FaultPlan::NONE,
                     engine: Engine::Des,
                     attribution: false,
+                    staging_window: 2,
                 },
             );
             for i in 0..ts.len() {

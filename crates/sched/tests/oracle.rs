@@ -1,0 +1,318 @@
+//! Choice-oracle contract tests: the oracle hook must be invisible when
+//! it answers every query with the deterministic default, and a recorded
+//! script must replay identically on both engines — these two properties
+//! are what make explorer witnesses trustworthy.
+
+use rtmdm_mcusim::{Cycles, FaultPlan, PlatformConfig, TraceKind};
+use rtmdm_sched::gen::{generate, TasksetParams};
+use rtmdm_sched::script::{
+    Choice, ChoicePoint, ScriptOracle, ScriptedChoice, SimOracle, StateHash,
+};
+use rtmdm_sched::sim::{
+    simulate, simulate_with_oracle, Engine, Policy, RaceKind, SimConfig, SimResult,
+};
+use rtmdm_sched::{Segment, SporadicTask, StagingMode, TaskSet};
+
+fn cy(n: u64) -> Cycles {
+    Cycles::new(n)
+}
+
+fn platform() -> PlatformConfig {
+    PlatformConfig::stm32f746_qspi()
+}
+
+fn config(horizon: u64, engine: Engine) -> SimConfig {
+    SimConfig {
+        horizon: cy(horizon),
+        policy: Policy::FixedPriority,
+        exec_scale_min_ppm: 1_000_000,
+        seed: 0,
+        work_conserving: false,
+        fault: FaultPlan::NONE,
+        engine,
+        attribution: false,
+        staging_window: 2,
+    }
+}
+
+fn overlapped(name: &str, period: u64, segs: &[(u64, u64)]) -> SporadicTask {
+    SporadicTask::new(
+        name,
+        cy(period),
+        cy(period),
+        segs.iter().map(|&(c, b)| Segment::new(cy(c), b)).collect(),
+        StagingMode::Overlapped,
+    )
+    .expect("valid task")
+}
+
+fn resident(name: &str, period: u64, deadline: u64, compute: u64) -> SporadicTask {
+    SporadicTask::new(
+        name,
+        cy(period),
+        cy(deadline),
+        vec![Segment::new(cy(compute), 0)],
+        StagingMode::Resident,
+    )
+    .expect("valid task")
+}
+
+fn assert_same_run(a: &SimResult, b: &SimResult, ctx: &str) {
+    assert_eq!(a.trace.events(), b.trace.events(), "{ctx}: trace");
+    assert_eq!(a.stats, b.stats, "{ctx}: stats");
+    assert_eq!(a.races, b.races, "{ctx}: races");
+}
+
+/// An oracle that always answers the deterministic default.
+struct DefaultOracle;
+
+impl SimOracle for DefaultOracle {
+    fn choose(&mut self, point: ChoicePoint, _state: StateHash) -> Choice {
+        Choice::default_for(&point)
+    }
+}
+
+/// A default-answering oracle must be invisible: the run is
+/// byte-identical to a plain `simulate` of the same config, on both
+/// engines, for generated task sets. This is the foundation the
+/// explorer's "default spine" rests on.
+#[test]
+fn default_oracle_run_is_byte_identical_to_plain() {
+    let p = platform();
+    for seed in 0..8u64 {
+        let params = TasksetParams::baseline(3, 500_000);
+        let ts = generate(&params, &p, seed);
+        let horizon = ts.tasks().iter().map(|t| t.period.get()).max().unwrap() * 3;
+        for engine in [Engine::Legacy, Engine::Des] {
+            let cfg = config(horizon, engine);
+            let plain = simulate(&ts, &p, &cfg);
+            let mut oracle = DefaultOracle;
+            let oracled = simulate_with_oracle(&ts, &p, &cfg, &mut oracle);
+            assert_same_run(&plain, &oracled, &format!("seed {seed} {engine:?}"));
+        }
+    }
+}
+
+/// With `exec_scale_min_ppm < 1_000_000` the oracle's default answer is
+/// WCET, so the oracled run must match a plain run whose scale floor is
+/// pinned at WCET (the RNG never fires under an oracle).
+#[test]
+fn default_oracle_pins_exec_scale_at_wcet() {
+    let p = platform();
+    let ts = TaskSet::from_tasks(vec![
+        overlapped("a", 40_000, &[(3_000, 2_048), (4_000, 1_024)]),
+        resident("b", 70_000, 70_000, 9_000),
+    ]);
+    let mut scaled = config(200_000, Engine::Des);
+    scaled.exec_scale_min_ppm = 400_000;
+    let mut oracle = DefaultOracle;
+    let oracled = simulate_with_oracle(&ts, &p, &scaled, &mut oracle);
+    let wcet = simulate(&ts, &p, &config(200_000, Engine::Des));
+    assert_eq!(oracled.trace.events(), wcet.trace.events());
+    assert_eq!(oracled.stats, wcet.stats);
+}
+
+/// Scripted release jitter delays a job's entry while its deadline stays
+/// anchored at the nominal release: enough jitter turns an easily
+/// feasible job into a deadline miss.
+#[test]
+fn scripted_jitter_keeps_deadline_anchored() {
+    let p = platform();
+    let ts = TaskSet::from_tasks(vec![resident("t", 100_000, 50_000, 20_000)]);
+    let cfg = config(100_000, Engine::Des);
+    // No jitter: finishes well inside the deadline.
+    assert!(simulate(&ts, &p, &cfg).no_misses());
+    // 40k cycles of jitter: entry at 40k + ~20k compute > 50k deadline.
+    let script = vec![ScriptedChoice {
+        point: ChoicePoint::ReleaseJitter { task: 0, job: 0 },
+        value: Choice::ReleaseJitter(cy(40_000)),
+    }];
+    let mut oracle = ScriptOracle::new(script);
+    let run = simulate_with_oracle(&ts, &p, &cfg, &mut oracle);
+    assert!(run.stats[0].misses >= 1, "anchored deadline must be missed");
+    assert!(run
+        .trace
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::DeadlineMissed { .. })));
+}
+
+/// A scripted transfer fault forces the re-issue path: the trace carries
+/// the `FetchFaulted` event and the faulted run finishes strictly later
+/// than the clean one.
+#[test]
+fn scripted_transfer_fault_forces_retry() {
+    let p = platform();
+    let ts = TaskSet::from_tasks(vec![overlapped(
+        "a",
+        400_000,
+        &[(3_000, 4_096), (3_000, 4_096)],
+    )]);
+    let mut cfg = config(400_000, Engine::Des);
+    // A live fault environment is required for the oracle to be asked;
+    // the rate itself is ignored under an oracle.
+    cfg.fault = FaultPlan {
+        seed: 1,
+        dma_fault_rate_ppm: 1,
+        max_retries: 3,
+        jitter_max_cycles: 0,
+    };
+    struct FaultFirst;
+    impl SimOracle for FaultFirst {
+        fn choose(&mut self, point: ChoicePoint, _state: StateHash) -> Choice {
+            match point {
+                ChoicePoint::TransferFault {
+                    seg: 0, attempt: 0, ..
+                } => Choice::TransferFault(true),
+                _ => Choice::default_for(&point),
+            }
+        }
+    }
+    let mut faulty = FaultFirst;
+    let run = simulate_with_oracle(&ts, &p, &cfg, &mut faulty);
+    assert!(run
+        .trace
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::FetchFaulted { attempt: 0, .. })));
+    let mut clean = DefaultOracle;
+    let clean_run = simulate_with_oracle(&ts, &p, &cfg, &mut clean);
+    assert!(clean_run
+        .trace
+        .events()
+        .iter()
+        .all(|e| !matches!(e.kind, TraceKind::FetchFaulted { .. })));
+    assert!(run.stats[0].total_response > clean_run.stats[0].total_response);
+}
+
+/// The default two-ahead staging window provably excludes buffer-half
+/// overlap, so the always-on race monitor must stay silent; a widened
+/// window of 3 lets the DMA write segment `k + 2` into the half the CPU
+/// is still reading segment `k` from, and the monitor must report it.
+#[test]
+fn staging_window_three_reaches_buffer_race() {
+    let p = platform();
+    // Long computes with small fetches: the DMA runs far ahead of the
+    // CPU as soon as the window allows it.
+    let ts = TaskSet::from_tasks(vec![overlapped(
+        "a",
+        2_000_000,
+        &[
+            (200_000, 256),
+            (200_000, 256),
+            (200_000, 256),
+            (200_000, 256),
+        ],
+    )]);
+    let safe = simulate(&ts, &p, &config(2_000_000, Engine::Des));
+    assert!(safe.races.is_empty(), "window 2 must be race-free");
+    for engine in [Engine::Legacy, Engine::Des] {
+        let mut wide = config(2_000_000, engine);
+        wide.staging_window = 3;
+        let racy = simulate(&ts, &p, &wide);
+        assert!(
+            !racy.races.is_empty(),
+            "window 3 must reach a staging race ({engine:?})"
+        );
+        let r = &racy.races[0];
+        assert_eq!(r.write_seg % 2, r.clobbered_seg % 2, "same buffer half");
+        assert_ne!(r.write_seg, r.clobbered_seg);
+        assert!(matches!(
+            r.kind,
+            RaceKind::CpuRead | RaceKind::StagedUnconsumed
+        ));
+    }
+}
+
+/// Script replay is deterministic and engine-independent: the same
+/// script produces byte-identical runs under Legacy and DES, and across
+/// repeated replays. This is the witness-replay guarantee.
+#[test]
+fn script_replay_is_engine_identical() {
+    let p = platform();
+    let ts = TaskSet::from_tasks(vec![
+        overlapped("a", 60_000, &[(4_000, 2_048), (5_000, 2_048)]),
+        resident("b", 90_000, 90_000, 12_000),
+    ]);
+    let mut cfg = config(360_000, Engine::Des);
+    cfg.exec_scale_min_ppm = 500_000;
+    cfg.fault = FaultPlan {
+        seed: 0,
+        dma_fault_rate_ppm: 1,
+        max_retries: 2,
+        jitter_max_cycles: 0,
+    };
+    // A deliberately mixed script; positional replay tolerates kind
+    // mismatches by degrading to defaults, so any script is replayable.
+    let script = vec![
+        ScriptedChoice {
+            point: ChoicePoint::ReleaseJitter { task: 0, job: 0 },
+            value: Choice::ReleaseJitter(cy(1_500)),
+        },
+        ScriptedChoice {
+            point: ChoicePoint::ExecScale {
+                task: 0,
+                job: 0,
+                min_ppm: 500_000,
+            },
+            value: Choice::ExecScale(700_000),
+        },
+        ScriptedChoice {
+            point: ChoicePoint::TransferFault {
+                task: 0,
+                job: 0,
+                seg: 0,
+                attempt: 0,
+            },
+            value: Choice::TransferFault(true),
+        },
+        ScriptedChoice {
+            point: ChoicePoint::ReleaseJitter { task: 1, job: 0 },
+            value: Choice::ReleaseJitter(cy(900)),
+        },
+    ];
+    let run_with = |engine: Engine| {
+        let mut cfg = cfg.clone();
+        cfg.engine = engine;
+        let mut oracle = ScriptOracle::new(script.clone());
+        simulate_with_oracle(&ts, &p, &cfg, &mut oracle)
+    };
+    let legacy = run_with(Engine::Legacy);
+    let des = run_with(Engine::Des);
+    assert_same_run(&legacy, &des, "legacy vs des");
+    let des_again = run_with(Engine::Des);
+    assert_same_run(&des, &des_again, "replay determinism");
+}
+
+/// The state hash handed to the oracle is identical across engines at
+/// every query: recording the hashes of a DES run and replaying the
+/// same choices under Legacy must observe the same sequence.
+#[test]
+fn oracle_state_hashes_are_engine_identical() {
+    struct Recorder {
+        hashes: Vec<StateHash>,
+    }
+    impl SimOracle for Recorder {
+        fn choose(&mut self, point: ChoicePoint, state: StateHash) -> Choice {
+            self.hashes.push(state);
+            Choice::default_for(&point)
+        }
+    }
+    let p = platform();
+    let ts = TaskSet::from_tasks(vec![
+        overlapped("a", 50_000, &[(4_000, 2_048), (4_000, 1_024)]),
+        resident("b", 80_000, 80_000, 10_000),
+    ]);
+    let cfg = config(400_000, Engine::Des);
+    let run = |engine: Engine| {
+        let mut cfg = cfg.clone();
+        cfg.engine = engine;
+        let mut rec = Recorder { hashes: Vec::new() };
+        simulate_with_oracle(&ts, &p, &cfg, &mut rec);
+        rec.hashes
+    };
+    let des = run(Engine::Des);
+    let legacy = run(Engine::Legacy);
+    assert!(!des.is_empty());
+    assert_eq!(des, legacy);
+}

@@ -22,6 +22,7 @@ fn config(horizon: Cycles, policy: Policy, wc: bool, scale: u64, seed: u64) -> S
         fault: FaultPlan::NONE,
         engine: Engine::Des,
         attribution: false,
+        staging_window: 2,
     }
 }
 

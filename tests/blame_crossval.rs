@@ -91,6 +91,7 @@ fn check_measured_within_bounds(
         fault: FaultPlan::NONE,
         engine: Engine::Des,
         attribution: true,
+        staging_window: 2,
     };
     let run = simulate(&ordered, &p, &config);
     let report = attribute(&run.trace).expect("conservation holds");
@@ -184,6 +185,7 @@ proptest! {
             },
             engine: if engine_des { Engine::Des } else { Engine::Legacy },
             attribution: true,
+            staging_window: 2,
         };
         let run = simulate(&ts, &platform(), &config);
         let report = match attribute(&run.trace) {
@@ -263,6 +265,7 @@ fn preemption_blame_names_the_preempting_task() {
         fault: FaultPlan::NONE,
         engine: Engine::Des,
         attribution: true,
+        staging_window: 2,
     };
     let run = simulate(&ts, &platform(), &config);
     let report = attribute(&run.trace).expect("conservation holds");
@@ -331,6 +334,7 @@ fn fault_refetch_blame_fires_under_injected_faults() {
         },
         engine: Engine::Des,
         attribution: true,
+        staging_window: 2,
     };
     let run = simulate(&ts, &platform(), &config);
     assert!(

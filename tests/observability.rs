@@ -55,6 +55,7 @@ fn golden_scenario_with(engine: Engine) -> (SimResult, Vec<String>) {
         fault: FaultPlan::NONE,
         engine,
         attribution: false,
+        staging_window: 2,
     };
     let result = simulate(&ts, &PlatformConfig::stm32f746_qspi(), &config);
     (result, vec!["ctrl".to_owned(), "dnn".to_owned()])
@@ -179,6 +180,7 @@ proptest! {
             fault: FaultPlan::NONE,
             engine: Engine::Des,
             attribution: false,
+            staging_window: 2,
         };
         let result = simulate(&ts, &p, &config);
         check_invariants(&result)?;
@@ -207,6 +209,7 @@ proptest! {
             fault: FaultPlan::NONE,
             engine: Engine::Des,
             attribution: false,
+            staging_window: 2,
         };
         let result = simulate(&ts, &p, &config);
         check_invariants(&result)?;
@@ -235,6 +238,7 @@ proptest! {
             fault: FaultPlan::NONE,
             engine: Engine::Des,
             attribution: false,
+            staging_window: 2,
         };
         let result = simulate(&ts, &p, &config);
         let names: Vec<String> = ts.tasks().iter().map(|t| t.name.clone()).collect();

@@ -51,6 +51,7 @@ fn check_soundness(
         fault: FaultPlan::NONE,
         engine: Engine::Des,
         attribution: false,
+        staging_window: 2,
     };
     let run = simulate(&ordered, &p, &config);
     prop_assert_eq!(
@@ -172,6 +173,7 @@ fn directed_soundness_sweep() {
                 fault: FaultPlan::NONE,
                 engine: Engine::Des,
                 attribution: false,
+                staging_window: 2,
             };
             let run = simulate(&ordered, &p, &config);
             assert_eq!(run.total_misses(), 0, "seed {seed} mode {mode:?}");

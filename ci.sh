@@ -15,8 +15,9 @@ cargo clippy --all-targets --workspace -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo doc (obs + check + sched) =="
-RUSTDOCFLAGS="-D warnings" cargo doc -q -p rtmdm-obs -p rtmdm-check -p rtmdm-sched --no-deps
+echo "== cargo doc (obs + check + sched + core + par) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q -p rtmdm-obs -p rtmdm-check -p rtmdm-sched \
+  -p rtmdm-core -p rtmdm-par --no-deps
 
 echo "== rtmdm trace smoke =="
 trace_out="$(mktemp)"
@@ -156,5 +157,33 @@ if ./target/release/rtmdm check --explain RTM999 2> /dev/null; then
   echo "explore smoke: unknown rule unexpectedly explained" >&2; exit 1
 fi
 rm -f "$explore_out" "$witness_out"
+
+echo "== rtmdm serve smoke =="
+# Three-line JSONL batch through the admission service: a well-formed
+# admit, a malformed line (must yield an error record, not kill the
+# stream or the exit code), and an infeasible spec (must reject with
+# findings). A repeated run must be byte-identical — the warm-equals-
+# cold invariant's CLI-level corollary (DESIGN.md §2.6).
+serve_in="$(mktemp)"
+serve_out="$(mktemp)"
+serve_out2="$(mktemp)"
+cat > "$serve_in" <<'JSONL'
+{"id":"q-admit","platform":"stm32f746-qspi","options":{},"tasks":[{"name":"kws","model":"ds-cnn","period_us":100000}]}
+{this line is not json}
+{"id":"q-reject","platform":"stm32f746-qspi","options":{},"tasks":[{"name":"ae","model":"autoencoder","period_us":4000}]}
+JSONL
+./target/release/rtmdm serve --once --input "$serve_in" > "$serve_out"
+[[ "$(wc -l < "$serve_out")" -eq 3 ]] || {
+  echo "serve smoke: expected 3 response lines" >&2; exit 1; }
+grep -q '"id":"q-admit".*"verdict":"admit"' "$serve_out" || {
+  echo "serve smoke: well-formed query did not admit" >&2; exit 1; }
+grep -q '"ok":false' "$serve_out" || {
+  echo "serve smoke: malformed line produced no error record" >&2; exit 1; }
+grep -q '"id":"q-reject".*"verdict":"reject"' "$serve_out" || {
+  echo "serve smoke: infeasible query did not reject" >&2; exit 1; }
+./target/release/rtmdm serve --once --input "$serve_in" > "$serve_out2"
+cmp "$serve_out" "$serve_out2" || {
+  echo "serve smoke: repeated runs are not byte-identical" >&2; exit 1; }
+rm -f "$serve_in" "$serve_out" "$serve_out2"
 
 echo "CI green."

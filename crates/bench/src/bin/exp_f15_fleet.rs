@@ -1,0 +1,4 @@
+//! Regenerates experiment `f15_fleet` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit("f15_fleet", &rtmdm_bench::experiments::f15_fleet());
+}

@@ -14,7 +14,7 @@ use rtmdm_bench::{emit, experiments as e, par, results_dir, telemetry};
 type Experiment = (&'static str, fn() -> String);
 
 fn main() {
-    let experiments: [Experiment; 17] = [
+    let experiments: [Experiment; 18] = [
         ("t1_models", e::t1_models),
         ("t2_platforms", e::t2_platforms),
         ("t3_wcrt", e::t3_wcrt),
@@ -32,6 +32,7 @@ fn main() {
         ("f12_engine", e::f12_engine),
         ("f13_blame", e::f13_blame),
         ("f14_explore", e::f14_explore),
+        ("f15_fleet", e::f15_fleet),
     ];
     let registry = rtmdm_obs::metrics::global();
     registry.enable(true);
@@ -66,7 +67,19 @@ fn main() {
         engine.speedup,
         engine.equivalent
     );
-    let doc = telemetry::RunMetrics::new(par::num_threads(), records, final_snapshot, engine);
+    // The fleet probe already ran inside the f15_fleet experiment;
+    // this reuses its cached record instead of re-timing the fleet.
+    let fleet = e::fleet_comparison();
+    println!(
+        "-- fleet probe: warm {:.0} q/s vs cold {:.0} q/s \
+         ({:.1}x, identical: {})",
+        fleet.warm_queries_per_second,
+        fleet.cold_queries_per_second,
+        fleet.speedup,
+        fleet.identical
+    );
+    let doc =
+        telemetry::RunMetrics::new(par::num_threads(), records, final_snapshot, engine, fleet);
     let json = serde_json::to_string(&doc).expect("metrics serialize");
     let metrics_path = results_dir().join("metrics.json");
     if let Err(err) = std::fs::write(&metrics_path, &json) {

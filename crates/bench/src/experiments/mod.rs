@@ -6,6 +6,7 @@ mod blocking;
 mod energy;
 mod engine;
 mod explore;
+mod fleet;
 mod latency;
 mod platforms;
 mod robustness;
@@ -18,6 +19,7 @@ pub use blocking::f6_blocking;
 pub use energy::f9_energy;
 pub use engine::{engine_comparison, f12_engine};
 pub use explore::f14_explore;
+pub use fleet::{f15_fleet, fleet_comparison};
 pub use latency::{f1_latency, f4_sram_budget, f5_bandwidth};
 pub use platforms::f10_platforms;
 pub use robustness::f11_robustness;

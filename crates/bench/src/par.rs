@@ -1,187 +1,10 @@
-//! Dependency-free parallel map for the experiment harness.
+//! Re-export of the shared scoped worker pool.
 //!
-//! Every sweep in [`crate::experiments`] evaluates an embarrassingly
-//! parallel grid of `(parameter, seed)` cells. Each cell is
-//! self-contained by construction: `rtmdm_sched::gen::generate` seeds a
-//! fresh `StdRng` from the cell's own seed, `rtmdm_sched::sim::simulate`
-//! derives its jitter stream from `SimConfig::seed`, and no generator or
-//! simulator state is shared across cells — so cells may run on any
-//! thread in any order without changing their results.
-//!
-//! [`par_map_seeded`] exploits that with a scoped worker pool over
-//! `std::thread` (no external crates) while keeping the output
-//! indistinguishable from the serial loop: results are collected by
-//! input index, so downstream aggregation folds them in exactly the
-//! serial order and the emitted tables are byte-identical for any
-//! thread count. A panic in any cell propagates to the caller with its
-//! original payload once the pool has drained.
-//!
-//! The worker count comes from the `RTMDM_THREADS` environment variable
-//! when set (`RTMDM_THREADS=1` forces the plain serial path), otherwise
-//! from [`std::thread::available_parallelism`].
+//! The pool started life here (PR 1) and moved to the dedicated
+//! [`rtmdm_par`] crate when the admission service in `rtmdm-core`
+//! needed it too (`rtmdm-bench` depends on `rtmdm-core`, so the pool
+//! could not stay in this crate). This module keeps the historical
+//! `rtmdm_bench::par::*` paths working for the experiment harness and
+//! its bin wrappers; see [`rtmdm_par`] for the contract and tests.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Worker threads the harness uses: `RTMDM_THREADS` when set (values
-/// that are empty, unparsable, or `0` fall back to single-threaded),
-/// otherwise the machine's available parallelism.
-pub fn num_threads() -> usize {
-    threads_from(std::env::var("RTMDM_THREADS").ok().as_deref())
-}
-
-/// Pure core of [`num_threads`], separated so the parsing rules are
-/// unit-testable without mutating the process environment.
-fn threads_from(var: Option<&str>) -> usize {
-    match var {
-        Some(v) => v
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .unwrap_or(1),
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
-}
-
-/// Maps `f` over `cells` on [`num_threads`] workers, returning results
-/// in input order.
-///
-/// The name records the contract the harness relies on: every cell must
-/// carry its own seed (or be otherwise self-contained), because cells
-/// execute concurrently in an unspecified claim order. Output order is
-/// always input order, so a fold over the returned `Vec` reproduces the
-/// serial loop exactly.
-///
-/// # Panics
-///
-/// Re-raises the first worker panic (by input order of joining) with
-/// its original payload.
-pub fn par_map_seeded<T, R, F>(cells: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    par_map_with_threads(num_threads(), cells, f)
-}
-
-/// [`par_map_seeded`] with an explicit worker count — the testable core
-/// and the escape hatch for callers that know better than the
-/// environment.
-pub fn par_map_with_threads<T, R, F>(threads: usize, cells: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = cells.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        return cells.into_iter().map(f).collect();
-    }
-
-    // Work claiming: an atomic cursor over index-addressed cells. Each
-    // worker takes the next unclaimed index until the grid is drained;
-    // the per-cell mutexes only transfer ownership (never contended —
-    // the cursor hands each index to exactly one worker).
-    let work: Vec<Mutex<Option<T>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let cell = work[i]
-                        .lock()
-                        .expect("no panic can occur while a work lock is held")
-                        .take()
-                        .expect("the cursor hands out each index exactly once");
-                    let result = f(cell);
-                    *slots[i]
-                        .lock()
-                        .expect("no panic can occur while a slot lock is held") = Some(result);
-                })
-            })
-            .collect();
-        let mut first_panic = None;
-        for handle in handles {
-            if let Err(payload) = handle.join() {
-                first_panic.get_or_insert(payload);
-            }
-        }
-        if let Some(payload) = first_panic {
-            std::panic::resume_unwind(payload);
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("workers finished cleanly")
-                .expect("every slot is filled once the pool drains")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn thread_count_parsing() {
-        assert_eq!(threads_from(Some("4")), 4);
-        assert_eq!(threads_from(Some(" 8 ")), 8);
-        assert_eq!(threads_from(Some("0")), 1);
-        assert_eq!(threads_from(Some("-3")), 1);
-        assert_eq!(threads_from(Some("lots")), 1);
-        assert_eq!(threads_from(Some("")), 1);
-        assert!(threads_from(None) >= 1);
-    }
-
-    #[test]
-    fn results_keep_input_order_at_any_width() {
-        let cells: Vec<u64> = (0..97).collect();
-        let expected: Vec<u64> = cells.iter().map(|x| x * x).collect();
-        for threads in [1, 2, 3, 8, 200] {
-            let got = par_map_with_threads(threads, cells.clone(), |x| x * x);
-            assert_eq!(got, expected, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn empty_and_singleton_grids() {
-        assert_eq!(
-            par_map_with_threads(8, Vec::<u8>::new(), |x| x),
-            Vec::<u8>::new()
-        );
-        assert_eq!(par_map_with_threads(8, vec![7u8], |x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn worker_panics_propagate_with_payload() {
-        let cells: Vec<u32> = (0..64).collect();
-        let caught = std::panic::catch_unwind(|| {
-            par_map_with_threads(4, cells, |x| {
-                if x == 13 {
-                    panic!("cell 13 exploded");
-                }
-                x
-            })
-        })
-        .expect_err("panic must propagate");
-        let msg = caught
-            .downcast_ref::<&str>()
-            .copied()
-            .map(str::to_owned)
-            .or_else(|| caught.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
-        assert!(msg.contains("cell 13 exploded"), "payload lost: {msg:?}");
-    }
-}
+pub use rtmdm_par::{num_threads, par_map_seeded, par_map_with_threads};

@@ -30,7 +30,9 @@ use rtmdm_xmem::{pipeline, segment_model, ExecutionStrategy};
 ///
 /// v2: added per-task response-time percentiles (`probe.response` in
 /// `metrics.json`, `response` in `BENCH_run_all.json`).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: added the admission-service fleet throughput record (`fleet`
+/// in both documents; see [`FleetComparison`]).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Telemetry of one experiment invocation inside `run_all`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -87,6 +89,30 @@ pub struct EngineComparison {
     pub speedup: f64,
     /// Whether both engines agreed byte-for-byte on the probe.
     pub equivalent: bool,
+}
+
+/// Cold-versus-warm admission-service throughput over a synthetic
+/// device fleet (see `experiments::fleet_comparison`). The rates and
+/// speedup are wall-clock based and therefore nondeterministic;
+/// `identical` is exact — it records whether the cached (warm) answers
+/// were byte-identical to the cache-free (cold) answers of the same
+/// request lines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetComparison {
+    /// Total queries in the synthetic fleet.
+    pub fleet_size: u64,
+    /// Distinct (platform, options, task mix) configurations.
+    pub distinct_configs: u64,
+    /// Queries answered cold (fresh service per query) for the baseline.
+    pub cold_sample: u64,
+    /// Queries per wall second with a fresh service per query.
+    pub cold_queries_per_second: f64,
+    /// Queries per wall second through one shared, warmed service.
+    pub warm_queries_per_second: f64,
+    /// `warm_queries_per_second / cold_queries_per_second`.
+    pub speedup: f64,
+    /// Whether warm answers matched cold answers byte for byte.
+    pub identical: bool,
 }
 
 /// Whole-run aggregates over every experiment.
@@ -168,6 +194,9 @@ pub struct RunMetrics {
     pub probe: Probe,
     /// DES-versus-legacy engine throughput (see [`EngineComparison`]).
     pub engine: EngineComparison,
+    /// Cold-versus-warm admission-service fleet throughput (see
+    /// [`FleetComparison`]).
+    pub fleet: FleetComparison,
 }
 
 /// One entry of [`BenchSummary`].
@@ -197,16 +226,20 @@ pub struct BenchSummary {
     /// Per-task response percentiles of the probe scenario
     /// (deterministic; see [`TaskResponseSummary`]).
     pub response: Vec<TaskResponseSummary>,
+    /// Cold-versus-warm admission-service fleet throughput (see
+    /// [`FleetComparison`]).
+    pub fleet: FleetComparison,
 }
 
 impl RunMetrics {
     /// Assembles the document from per-experiment records, the final
-    /// registry snapshot, and the engine throughput comparison.
+    /// registry snapshot, and the throughput comparisons.
     pub fn new(
         workers: usize,
         experiments: Vec<ExperimentMetrics>,
         registry: Snapshot,
         engine: EngineComparison,
+        fleet: FleetComparison,
     ) -> Self {
         let totals = RunTotals {
             wall_seconds: experiments.iter().map(|e| e.wall_seconds).sum(),
@@ -221,6 +254,7 @@ impl RunMetrics {
             registry,
             probe: probe(),
             engine,
+            fleet,
         }
     }
 
@@ -240,6 +274,7 @@ impl RunMetrics {
             total_sim_cycles: self.totals.sim_cycles,
             engine: self.engine.clone(),
             response: self.probe.response.clone(),
+            fleet: self.fleet.clone(),
         }
     }
 }
@@ -354,7 +389,16 @@ mod tests {
             speedup: 2.0,
             equivalent: true,
         };
-        let doc = RunMetrics::new(4, vec![e.clone(), e], after, engine);
+        let fleet = FleetComparison {
+            fleet_size: 100_000,
+            distinct_configs: 16,
+            cold_sample: 16,
+            cold_queries_per_second: 10.0,
+            warm_queries_per_second: 100.0,
+            speedup: 10.0,
+            identical: true,
+        };
+        let doc = RunMetrics::new(4, vec![e.clone(), e], after, engine, fleet);
         assert_eq!(doc.totals.sim_runs, 6);
         assert_eq!(doc.totals.sim_cycles, 1200);
         let json = serde_json::to_string(&doc).unwrap();
@@ -373,6 +417,10 @@ mod tests {
         // The summary carries the probe's per-task percentiles.
         assert_eq!(sback.response, doc.probe.response);
         assert!(!sback.response.is_empty());
+        // …and the fleet throughput record.
+        assert!(sback.fleet.identical);
+        assert_eq!(sback.fleet.fleet_size, 100_000);
+        assert_eq!(sback.fleet.speedup, 10.0);
     }
 
     #[test]

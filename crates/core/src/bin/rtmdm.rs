@@ -9,6 +9,7 @@
 //! rtmdm trace    --platform stm32f746-qspi --task kws=ds-cnn@100 --out t.json --format chrome
 //! rtmdm explain  --platform stm32f746-qspi --task kws=ds-cnn@100 --seconds 2
 //! rtmdm check    --platform stm32f746-qspi --task kws=ds-cnn@100 --json --deny-warnings
+//! rtmdm serve    --once --input queries.jsonl
 //! ```
 //!
 //! Task syntax: `name=model@period_ms[/deadline_ms][:strategy]` with
@@ -39,7 +40,17 @@
 //! `--allow RTM0xx` / `--deny RTM0xx` tune individual rules.
 //! `check --explain RTM0xx` prints one rule's severity, category,
 //! and description instead of verifying anything (unknown IDs are a
-//! usage error). `check --explore` additionally runs the exhaustive
+//! usage error). The `serve` subcommand runs the admission service:
+//! it reads JSONL admission requests (one JSON object per line) from
+//! stdin or `--input PATH`, answers each on stdout (schema
+//! `rtmdm-serve/1`), and memoizes analysis sub-problems across
+//! queries so fleets of near-identical requests answer from the
+//! cache; `--once` reads the whole input and answers it as one
+//! sharded batch (input-order output), the default streams
+//! line-by-line. Malformed lines produce `"ok":false` error records,
+//! not a dead stream; `serve` exits 0 even when some lines were
+//! malformed (1 only on I/O failure). A cache-hit summary goes to
+//! stderr at EOF. `check --explore` additionally runs the exhaustive
 //! schedule-space explorer over the admissible interleavings
 //! (`RTM050`–`RTM053`): `--max-states N` bounds the search (the
 //! default is 20000; exceeding the bound reports `RTM053`,
@@ -60,14 +71,15 @@ use rtmdm_sched::MissPolicy;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rtmdm <platforms|models|admit|simulate|optimize|trace|explain|check> \
+        "usage: rtmdm <platforms|models|admit|simulate|optimize|trace|explain|check|serve> \
          [--platform NAME] [--task name=model@period_ms[/deadline_ms][:strategy]]… \
          [--seconds S] [--jitter PCT] [--seed N] [--edf] [--work-conserving] \
          [--fault-rate PPM] [--fault-seed N] [--fault-retries N] [--fault-jitter CYCLES] \
          [--miss-policy continue|abort|skip-next] [--engine legacy|des] \
          [--attribution on|off] [--out PATH] [--format chrome|jsonl] [--gantt] \
          [--json] [--deny-warnings] [--allow RULE] [--deny RULE] [--explain RULE] \
-         [--explore] [--max-states N] [--witness PATH]"
+         [--explore] [--max-states N] [--witness PATH] \
+         (serve: [--once] [--input PATH])"
     );
     ExitCode::from(1)
 }
@@ -700,6 +712,90 @@ fn cmd_check(cli: &Cli) -> ExitCode {
     }
 }
 
+/// Feeds JSONL admission requests through one [`rtmdm_core::Service`]:
+/// all at once
+/// as a sharded batch (`--once`), or line-by-line as they arrive.
+/// Blank lines are skipped; every other input line produces exactly
+/// one output line (a verdict or an `"ok":false` error record).
+fn serve_loop<R: std::io::BufRead>(
+    service: &rtmdm_core::Service,
+    reader: R,
+    once: bool,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    if once {
+        let lines: Vec<String> = reader
+            .lines()
+            .collect::<std::io::Result<Vec<String>>>()?
+            .into_iter()
+            .filter(|l| !l.trim().is_empty())
+            .collect();
+        let mut out = stdout.lock();
+        for answer in service.answer_batch(lines) {
+            writeln!(out, "{answer}")?;
+        }
+        out.flush()
+    } else {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut out = stdout.lock();
+            writeln!(out, "{}", service.answer_line(&line))?;
+            out.flush()?;
+        }
+        Ok(())
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut once = false;
+    let mut input: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--input" => match it.next() {
+                Some(path) => input = Some(path.clone()),
+                None => {
+                    eprintln!("rtmdm: --input requires a path");
+                    return ExitCode::from(1);
+                }
+            },
+            _ => return usage(),
+        }
+    }
+    let service = rtmdm_core::Service::new();
+    let result = match &input {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => serve_loop(&service, std::io::BufReader::new(f), once),
+            Err(e) => {
+                eprintln!("rtmdm: cannot open {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => serve_loop(&service, std::io::stdin().lock(), once),
+    };
+    let stats = service.stats();
+    eprintln!(
+        "serve: {} queries; reused {} answers, {} lowerings, {} analyses, {} headrooms",
+        stats.queries,
+        stats.answers_reused,
+        stats.lowerings_reused,
+        stats.analyses_reused,
+        stats.headrooms_reused
+    );
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rtmdm: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -708,6 +804,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "platforms" => return cmd_platforms(),
         "models" => return cmd_models(),
+        "serve" => return cmd_serve(&args[1..]),
         "admit" | "simulate" | "optimize" | "trace" | "explain" | "check" => {}
         _ => return usage(),
     }

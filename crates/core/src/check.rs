@@ -34,7 +34,8 @@ use rtmdm_xmem::SramArena;
 
 use crate::error::AdmitError;
 use crate::framework::{
-    compute_cap_for, lower_spec, priority_order_for, weight_region_bytes, FrameworkOptions, RtMdm,
+    compute_cap_for, lower_spec, priority_order_for, weight_region_bytes, AdmissionHooks,
+    DirectHooks, FrameworkOptions, RtMdm,
 };
 use crate::spec::{Strategy, TaskSpec};
 
@@ -138,6 +139,14 @@ impl SystemSpec {
 
     /// Runs every static pass and returns the combined report.
     pub fn check(&self) -> Report {
+        self.check_hooked(&DirectHooks)
+    }
+
+    /// [`SystemSpec::check`] with lowering routed through `hooks`: the
+    /// admission service substitutes its content-addressed lowering
+    /// cache so the plan/staging passes run on cached artifacts instead
+    /// of re-segmenting every model per query.
+    pub(crate) fn check_hooked(&self, hooks: &dyn AdmissionHooks) -> Report {
         let mut report = Report::new();
 
         report.extend(check_platform(&self.platform));
@@ -165,7 +174,7 @@ impl SystemSpec {
         let cap = compute_cap_for(&self.platform, &self.options, &self.tasks);
         let mut tasks = Vec::with_capacity(self.tasks.len());
         for spec in &self.tasks {
-            match lower_spec(&self.platform, &self.options, spec, cap) {
+            match hooks.lower(&self.platform, &self.options, spec, cap) {
                 Ok(lowered) => {
                     report.extend(
                         check_plan(&lowered.pre_plan, &spec.model, &self.options.cost_model)
@@ -366,6 +375,13 @@ impl RtMdm {
     /// exploration (see [`SystemSpec::check_with`]).
     pub fn check_with(&self, options: &CheckOptions) -> CheckOutcome {
         self.system_spec().check_with(options)
+    }
+
+    /// [`RtMdm::check`] with lowering routed through `hooks` — the step
+    /// [`RtMdm::admit_hooked`](RtMdm) runs before analysis so the
+    /// admission service's cache also covers the verifier passes.
+    pub(crate) fn check_hooked(&self, hooks: &dyn AdmissionHooks) -> Report {
+        self.system_spec().check_hooked(hooks)
     }
 
     fn system_spec(&self) -> SystemSpec {

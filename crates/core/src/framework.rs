@@ -245,11 +245,20 @@ impl RtMdm {
     /// Builds the scheduler task set (insertion order) plus each task's
     /// segmentation plan.
     fn build(&self) -> Result<(TaskSet, Vec<ModelSegmentation>), AdmitError> {
+        self.build_hooked(&DirectHooks)
+    }
+
+    /// [`RtMdm::build`] with lowering routed through `hooks` so the
+    /// admission service can substitute its content-addressed cache.
+    fn build_hooked(
+        &self,
+        hooks: &dyn AdmissionHooks,
+    ) -> Result<(TaskSet, Vec<ModelSegmentation>), AdmitError> {
         let cap = self.compute_cap();
         let mut tasks = Vec::with_capacity(self.specs.len());
         let mut plans = Vec::with_capacity(self.specs.len());
         for spec in &self.specs {
-            let lowered = lower_spec(&self.platform, &self.options, spec, cap)?;
+            let lowered = hooks.lower(&self.platform, &self.options, spec, cap)?;
             tasks.push(lowered.task);
             plans.push(lowered.plan);
         }
@@ -301,37 +310,32 @@ impl RtMdm {
     /// An admission that *fails the analysis* is not an error — inspect
     /// [`Admission::schedulable`].
     pub fn admit(&self) -> Result<Admission, AdmitError> {
+        self.admit_hooked(&DirectHooks)
+            .map(|(admission, _, _)| admission)
+    }
+
+    /// [`RtMdm::admit`] with lowering and analysis routed through
+    /// `hooks` (the admission service substitutes memoized versions),
+    /// additionally returning the lowered, priority-ordered task set —
+    /// so the caller can run follow-up analyses (e.g. sensitivity)
+    /// without re-lowering — and the non-blocking verifier report that
+    /// `admit` computes and discards.
+    pub(crate) fn admit_hooked(
+        &self,
+        hooks: &dyn AdmissionHooks,
+    ) -> Result<(Admission, TaskSet, rtmdm_check::Report), AdmitError> {
         if self.specs.is_empty() {
             return Err(AdmitError::NoTasks);
         }
         let sram = self.plan_sram()?;
-        let report = self.check();
+        let report = self.check_hooked(hooks);
         if report.blocks_admission() {
             return Err(AdmitError::Check(report));
         }
-        let (ts, plans) = self.build()?;
+        let (ts, plans) = self.build_hooked(hooks)?;
         let order = self.priority_order(&ts);
         let ordered = ts.reordered(&order);
-        let mode = if self.options.work_conserving {
-            SchedulerMode::WorkConserving
-        } else {
-            SchedulerMode::Gated
-        };
-        let mut analysis = match self.options.policy {
-            Policy::Edf => AnalysisOutcome {
-                // The EDF processor-demand test yields a yes/no verdict,
-                // not per-task bounds.
-                schedulable: edf_demand_test(&ordered, &self.platform),
-                response: vec![None; ordered.len()],
-            },
-            Policy::FixedPriority if self.options.dma_aware_analysis => {
-                rta_limited_preemption_with(&ordered, &self.platform, mode)
-            }
-            Policy::FixedPriority => rta_memory_oblivious(&ordered, &self.platform),
-            // Policy is non_exhaustive upstream; treat unknown policies
-            // like fixed priority.
-            _ => rta_limited_preemption_with(&ordered, &self.platform, mode),
-        };
+        let mut analysis = hooks.analyze(&ordered, &self.platform, &self.options);
         // Retry-budget admission: under an active fault plan each task
         // must still meet its deadline after paying the worst tolerated
         // re-fetch pattern (bounded by `max_retries` per transfer).
@@ -363,7 +367,7 @@ impl RtMdm {
                 });
         }
         let occupancy_ppm = occupancy_utilization_ppm(&ordered, &self.platform);
-        Ok(Admission {
+        let admission = Admission {
             order,
             names: ordered.tasks().iter().map(|t| t.name.clone()).collect(),
             deadlines: ordered.tasks().iter().map(|t| t.deadline).collect(),
@@ -373,7 +377,8 @@ impl RtMdm {
             occupancy_ppm,
             plans,
             retry_budgets,
-        })
+        };
+        Ok((admission, ordered, report))
     }
 
     /// Simulates the task set for `horizon_us` microseconds at
@@ -428,7 +433,9 @@ impl RtMdm {
 /// after activation-spill pricing, plus the strategy-transformed task.
 /// Shared between [`RtMdm::build`] and the static verifier, which needs
 /// the pre-spill plan (spill extras are staging traffic, not part of
-/// the double-buffered weight discipline).
+/// the double-buffered weight discipline). `Clone` so the admission
+/// service can hand out cached copies of the artifact.
+#[derive(Debug, Clone)]
 pub(crate) struct Lowered {
     /// Segmentation as planned, before spill extras.
     pub pre_plan: ModelSegmentation,
@@ -438,6 +445,71 @@ pub(crate) struct Lowered {
     pub task: SporadicTask,
     /// The effective strategy (after any forced override).
     pub strategy: Strategy,
+}
+
+/// Substitution points of the admission pipeline: lowering specs to
+/// scheduler form and running the schedulability analysis. The default
+/// implementations compute directly; the admission service overrides
+/// them with content-addressed caches (see `crate::service`). `Sync`
+/// because the service shards query batches across worker threads that
+/// share one hook instance.
+pub(crate) trait AdmissionHooks: Sync {
+    /// Lowers one spec (defaults to [`lower_spec`]).
+    fn lower(
+        &self,
+        platform: &PlatformConfig,
+        options: &FrameworkOptions,
+        spec: &TaskSpec,
+        cap: Option<Cycles>,
+    ) -> Result<Lowered, AdmitError> {
+        lower_spec(platform, options, spec, cap)
+    }
+
+    /// Runs the schedulability analysis on the priority-ordered set
+    /// (defaults to [`direct_analysis`]).
+    fn analyze(
+        &self,
+        ordered: &TaskSet,
+        platform: &PlatformConfig,
+        options: &FrameworkOptions,
+    ) -> AnalysisOutcome {
+        direct_analysis(ordered, platform, options)
+    }
+}
+
+/// The hook set every one-shot entry point uses: no caching, straight
+/// computation.
+pub(crate) struct DirectHooks;
+
+impl AdmissionHooks for DirectHooks {}
+
+/// The schedulability analysis admission runs on the priority-ordered
+/// set, selected by policy and analysis options.
+pub(crate) fn direct_analysis(
+    ordered: &TaskSet,
+    platform: &PlatformConfig,
+    options: &FrameworkOptions,
+) -> AnalysisOutcome {
+    let mode = if options.work_conserving {
+        SchedulerMode::WorkConserving
+    } else {
+        SchedulerMode::Gated
+    };
+    match options.policy {
+        Policy::Edf => AnalysisOutcome {
+            // The EDF processor-demand test yields a yes/no verdict,
+            // not per-task bounds.
+            schedulable: edf_demand_test(ordered, platform),
+            response: vec![None; ordered.len()],
+        },
+        Policy::FixedPriority if options.dma_aware_analysis => {
+            rta_limited_preemption_with(ordered, platform, mode)
+        }
+        Policy::FixedPriority => rta_memory_oblivious(ordered, platform),
+        // Policy is non_exhaustive upstream; treat unknown policies
+        // like fixed priority.
+        _ => rta_limited_preemption_with(ordered, platform, mode),
+    }
 }
 
 /// The per-segment compute cap for a spec set: the explicit option

@@ -52,10 +52,12 @@ mod check;
 mod error;
 mod framework;
 pub mod report;
+mod service;
 mod spec;
 
 pub use advisor::OptimizeOutcome;
 pub use check::{CheckOptions, CheckOutcome, ExploreOptions, SystemSpec};
 pub use error::AdmitError;
 pub use framework::{Admission, FrameworkOptions, PriorityAssignment, RtMdm, RunReport, SramRow};
+pub use service::{CacheStats, Service, SERVE_SCHEMA};
 pub use spec::{Strategy, TaskSpec};

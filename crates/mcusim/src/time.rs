@@ -97,13 +97,46 @@ impl Cycles {
     ///
     /// # Panics
     ///
-    /// Panics if `den` is zero or the result exceeds `u64::MAX`.
+    /// Panics if `den` is zero or the result exceeds `u64::MAX`. Library
+    /// paths reachable from untrusted inputs (admission-service queries,
+    /// sensitivity scaling) must use [`Cycles::checked_mul_ratio_ceil`]
+    /// or [`Cycles::saturating_mul_ratio_ceil`] instead.
     #[inline]
     pub fn mul_ratio_ceil(self, num: u64, den: u64) -> Cycles {
         assert!(den != 0, "mul_ratio_ceil: zero denominator");
         let wide = u128::from(self.0) * u128::from(num);
         let out = wide.div_ceil(u128::from(den));
         Cycles(u64::try_from(out).expect("mul_ratio_ceil overflow"))
+    }
+
+    /// [`Cycles::mul_ratio_ceil`] that reports overflow instead of
+    /// panicking: `None` when the rounded-up product exceeds `u64::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero (a structural bug, never data-dependent).
+    #[inline]
+    pub fn checked_mul_ratio_ceil(self, num: u64, den: u64) -> Option<Cycles> {
+        assert!(den != 0, "mul_ratio_ceil: zero denominator");
+        let wide = u128::from(self.0) * u128::from(num);
+        u64::try_from(wide.div_ceil(u128::from(den)))
+            .ok()
+            .map(Cycles)
+    }
+
+    /// [`Cycles::mul_ratio_ceil`] that clamps at [`Cycles::MAX`] instead
+    /// of panicking. Saturation keeps scaling **monotone** in `num`
+    /// (a larger numerator never yields a smaller result) and is
+    /// conservative for worst-case timing: an unrepresentable WCET is
+    /// over-reported as "never finishes", which can only turn an admit
+    /// into a reject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero (a structural bug, never data-dependent).
+    #[inline]
+    pub fn saturating_mul_ratio_ceil(self, num: u64, den: u64) -> Cycles {
+        self.checked_mul_ratio_ceil(num, den).unwrap_or(Cycles::MAX)
     }
 
     /// Returns the larger of two cycle counts.
@@ -245,20 +278,33 @@ impl Frequency {
     }
 
     /// Converts a duration in microseconds to cycles, rounding up.
+    ///
+    /// Durations too long to represent saturate at [`Cycles::MAX`] (the
+    /// "never" sentinel) instead of panicking — conservative for timing
+    /// (time is over-, never under-reported) and total, so a malformed
+    /// admission-service query with an absurd period cannot kill the
+    /// process.
     pub fn cycles_from_micros(self, micros: u64) -> Cycles {
         let wide = u128::from(micros) * u128::from(self.0);
-        Cycles::new(u64::try_from(wide.div_ceil(1_000_000)).expect("duration overflow"))
+        u64::try_from(wide.div_ceil(1_000_000)).map_or(Cycles::MAX, Cycles::new)
     }
 
     /// Converts a duration in milliseconds to cycles, rounding up.
+    /// Saturates at [`Cycles::MAX`] like [`Frequency::cycles_from_micros`].
     pub fn cycles_from_millis(self, millis: u64) -> Cycles {
-        self.cycles_from_micros(millis * 1_000)
+        match millis.checked_mul(1_000) {
+            Some(micros) => self.cycles_from_micros(micros),
+            None => Cycles::MAX,
+        }
     }
 
     /// Converts a cycle count back to microseconds, rounding up.
+    /// Saturates at `u64::MAX` for cycle counts too large to express in
+    /// microseconds at this frequency (only reachable below ~18.4 GHz
+    /// when `cycles` is already near the [`Cycles::MAX`] sentinel).
     pub fn micros_from_cycles(self, cycles: Cycles) -> u64 {
         let wide = u128::from(cycles.get()) * 1_000_000u128;
-        u64::try_from(wide.div_ceil(u128::from(self.0))).expect("duration overflow")
+        u64::try_from(wide.div_ceil(u128::from(self.0))).unwrap_or(u64::MAX)
     }
 
     /// Cycles consumed per byte at a given sustained bandwidth, expressed
@@ -325,6 +371,32 @@ mod tests {
     }
 
     #[test]
+    fn checked_mul_ratio_ceil_reports_overflow() {
+        assert_eq!(
+            Cycles::new(10).checked_mul_ratio_ceil(1, 3),
+            Some(Cycles::new(4))
+        );
+        assert_eq!(Cycles::MAX.checked_mul_ratio_ceil(2, 1), None);
+        // The exact boundary: u64::MAX * 1 / 1 still fits.
+        assert_eq!(Cycles::MAX.checked_mul_ratio_ceil(1, 1), Some(Cycles::MAX));
+    }
+
+    #[test]
+    fn saturating_mul_ratio_ceil_clamps_and_stays_monotone() {
+        assert_eq!(Cycles::MAX.saturating_mul_ratio_ceil(2, 1), Cycles::MAX);
+        // Monotone in the numerator across the saturation boundary:
+        // once the product clamps, larger numerators keep it clamped.
+        let near = Cycles::new(u64::MAX / 2 + 1);
+        let mut prev = Cycles::ZERO;
+        for num in [1u64, 2, 3, 4, u64::MAX] {
+            let scaled = near.saturating_mul_ratio_ceil(num, 2);
+            assert!(scaled >= prev, "num={num} shrank the result");
+            prev = scaled;
+        }
+        assert_eq!(prev, Cycles::MAX);
+    }
+
+    #[test]
     fn cycles_sum_and_ordering() {
         let total: Cycles = [1u64, 2, 3].iter().map(|&c| Cycles::new(c)).sum();
         assert_eq!(total, Cycles::new(6));
@@ -341,6 +413,17 @@ mod tests {
         assert_eq!(f.micros_from_cycles(Cycles::new(200)), 1);
         // Rounding is up: 201 cycles is "2 µs" (never under-reports time).
         assert_eq!(f.micros_from_cycles(Cycles::new(201)), 2);
+    }
+
+    #[test]
+    fn duration_conversions_saturate_instead_of_panicking() {
+        let f = Frequency::mhz(200);
+        // 200 MHz · u64::MAX µs overflows u64 cycles → "never".
+        assert_eq!(f.cycles_from_micros(u64::MAX), Cycles::MAX);
+        assert_eq!(f.cycles_from_millis(u64::MAX), Cycles::MAX);
+        // Below 1 MHz the reverse direction can overflow too.
+        let slow = Frequency::hz(1);
+        assert_eq!(slow.micros_from_cycles(Cycles::MAX), u64::MAX);
     }
 
     #[test]

@@ -38,6 +38,41 @@ pub fn hyperperiod(ts: &TaskSet) -> Option<Cycles> {
     Some(Cycles::new(h))
 }
 
+/// Three-way outcome of the synchronous-release simulation, separating
+/// "the hyperperiod was too long to simulate" from "a deadline was
+/// missed".
+///
+/// Mirrors the RTM053 never-silently-safe rule from the explorer, in
+/// the other direction: an inconclusive empirical check must never be
+/// silently folded into *either* side of an accept/reject statistic.
+/// Callers that cannot handle [`SyncVerdict::Inconclusive`] explicitly
+/// must surface it (a count, a warning, an error) rather than default
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncVerdict {
+    /// Every job of the synchronous pattern met its deadline.
+    Accepted,
+    /// Some job of the synchronous pattern missed its deadline.
+    Rejected,
+    /// The hyperperiod exceeds the simulation cap; nothing is known.
+    Inconclusive,
+}
+
+/// [`sync_simulation_accepts`] with the inconclusive case spelled out
+/// as a [`SyncVerdict`] instead of an easy-to-misread `Option<bool>`.
+pub fn sync_simulation_verdict(
+    ts: &TaskSet,
+    platform: &PlatformConfig,
+    policy: Policy,
+    work_conserving: bool,
+) -> SyncVerdict {
+    match sync_simulation_accepts(ts, platform, policy, work_conserving) {
+        Some(true) => SyncVerdict::Accepted,
+        Some(false) => SyncVerdict::Rejected,
+        None => SyncVerdict::Inconclusive,
+    }
+}
+
 /// Simulates the synchronous periodic release pattern over one
 /// hyperperiod (plus the largest deadline) and reports whether every
 /// job met its deadline. `None` when the hyperperiod exceeds the

@@ -12,13 +12,15 @@
 
 mod edf;
 mod exact;
+mod key;
 mod rta;
 mod sensitivity;
 mod util;
 mod wcet;
 
 pub use edf::edf_demand_test;
-pub use exact::{hyperperiod, sync_simulation_accepts};
+pub use exact::{hyperperiod, sync_simulation_accepts, sync_simulation_verdict, SyncVerdict};
+pub use key::{analysis_key, canonical_key, KEY_SCHEMA};
 pub use rta::{
     interference_bounds, rta_limited_preemption, rta_limited_preemption_with, rta_memory_oblivious,
     AnalysisOutcome, InterferenceBound, SchedulerMode,

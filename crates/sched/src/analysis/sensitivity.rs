@@ -15,6 +15,15 @@ const MAX_SCALE_PPM: u64 = 4_000_000;
 
 /// Returns a copy of the set with every segment's compute scaled by
 /// `scale_ppm / 1e6` (fetch bytes unchanged), rounding up.
+///
+/// Scaling is **monotone**: a larger `scale_ppm` never yields a smaller
+/// scaled WCET. The rounded-up 128-bit product guarantees that below
+/// the `u64` boundary, and results past it saturate at `Cycles::MAX`
+/// instead of panicking — conservative (an unrepresentable WCET reads
+/// as "never finishes", which can only turn an admit into a reject) and
+/// total, so a fleet query with absurd WCETs cannot kill a server. At
+/// exactly `1_000_000` ppm the division is exact and scaling is the
+/// identity.
 pub fn scaled_taskset(ts: &TaskSet, scale_ppm: u64) -> TaskSet {
     ts.tasks()
         .iter()
@@ -27,7 +36,8 @@ pub fn scaled_taskset(ts: &TaskSet, scale_ppm: u64) -> TaskSet {
                 .iter()
                 .map(|s| {
                     Segment::new(
-                        s.compute.mul_ratio_ceil(scale_ppm.max(1), 1_000_000),
+                        s.compute
+                            .saturating_mul_ratio_ceil(scale_ppm.max(1), 1_000_000),
                         s.fetch_bytes,
                     )
                 })
@@ -73,6 +83,13 @@ pub fn critical_scaling_ppm(ts: &TaskSet, platform: &PlatformConfig, mode: Sched
     if admits(MAX_SCALE_PPM) {
         return MAX_SCALE_PPM;
     }
+    // Invariant: admits(lo) && !admits(hi). The midpoint is computed as
+    // lo + (hi - lo)/2, which cannot overflow for any u64 bounds, and
+    // with hi - lo > 1_000 it satisfies lo < mid < hi, so the bracket
+    // shrinks strictly every iteration — no oscillation, guaranteed
+    // termination. Monotonicity of scaled_taskset (see above) makes the
+    // admit predicate monotone even for WCETs that saturate at the u64
+    // boundary, so the bracket stays valid.
     let (mut lo, mut hi) = (1_000u64, MAX_SCALE_PPM);
     while hi - lo > 1_000 {
         let mid = lo + (hi - lo) / 2;
@@ -146,6 +163,49 @@ mod tests {
                 .schedulable
             );
         }
+    }
+
+    #[test]
+    fn identity_scale_is_a_no_op() {
+        // 1_000_000 ppm is exactly 1.0: the scaled set must equal the
+        // input, including a WCET at the u64 boundary where any rounding
+        // slack or saturation would show.
+        let boundary = SporadicTask::new(
+            "b",
+            cy(1_000),
+            cy(1_000),
+            vec![Segment::new(Cycles::MAX, 7), Segment::new(cy(3), 0)],
+            StagingMode::Overlapped,
+        )
+        .expect("valid");
+        let ts = TaskSet::from_tasks(vec![resident("a", 100, 3), boundary]);
+        assert_eq!(scaled_taskset(&ts, 1_000_000), ts);
+    }
+
+    #[test]
+    fn near_overflow_wcets_scale_monotonically_without_panicking() {
+        let huge = resident("h", 1_000, u64::MAX - 1);
+        let ts = TaskSet::from_tasks(vec![huge]);
+        let mut prev = Cycles::ZERO;
+        for ppm in [999_999u64, 1_000_000, 1_000_001, 2_000_000, MAX_SCALE_PPM] {
+            let scaled = scaled_taskset(&ts, ppm).tasks()[0].segments[0].compute;
+            assert!(scaled >= prev, "scale {ppm} ppm shrank the WCET");
+            prev = scaled;
+        }
+        // Past the boundary the WCET saturates at the "never" sentinel.
+        assert_eq!(prev, Cycles::MAX);
+    }
+
+    #[test]
+    fn critical_scaling_survives_boundary_wcets() {
+        // A set that is wildly infeasible because its WCET is already at
+        // the u64 boundary: the search must return 0 without panicking
+        // anywhere in the scaled analysis.
+        let ts = TaskSet::from_tasks(vec![resident("x", 1_000, u64::MAX - 1)]);
+        assert_eq!(
+            critical_scaling_ppm(&ts, &bare_platform(), SchedulerMode::Gated),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Integration gate for the admission service's cache-correctness
+//! invariant:
+//!
+//! > A warm answer (served from the content-addressed cache) is
+//! > byte-identical to the cold answer (computed by a fresh service
+//! > with every cache empty) for the same request line — across random
+//! > task sets, platforms, analysis options, and single-task
+//! > mutations — and a batch's bytes never depend on the worker count.
+//!
+//! This is what makes `rtmdm serve` sound: responses carry no
+//! hit-versus-miss marker, so the only way the invariant can hold is
+//! for every memoized sub-problem (lowering, RTA, headroom, whole
+//! answers) to cache the exact value the direct computation produces.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rt_mdm::core::Service;
+
+const PLATFORMS: &[&str] = &[
+    "cortex-m4-lowend",
+    "stm32f746-qspi",
+    "stm32h743-ospi",
+    "ideal-sram",
+];
+
+const MODELS: &[&str] = &[
+    "micro-mlp",
+    "ds-cnn",
+    "lenet5",
+    "resnet8",
+    "mobilenet-v1-025",
+    "autoencoder",
+];
+
+const PERIODS_US: &[u64] = &[20_000, 50_000, 100_000, 200_000, 500_000];
+
+fn pick<'a, T: ?Sized>(rng: &mut StdRng, pool: &'a [&'a T]) -> &'a T {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Renders one random well-formed request line. The drawn space covers
+/// every platform preset, every zoo model, both policies, the
+/// dma-awareness and work-conserving ablations, explicit and defaulted
+/// deadlines, and occasional buffer/activation-budget overrides.
+fn random_request(rng: &mut StdRng, id: &str) -> String {
+    let platform = pick(rng, PLATFORMS);
+    let mut options = Vec::new();
+    if rng.gen_bool(0.3) {
+        options.push(r#""policy":"edf""#.to_owned());
+    }
+    if rng.gen_bool(0.3) {
+        options.push(r#""dma_aware_analysis":false"#.to_owned());
+    }
+    if rng.gen_bool(0.3) {
+        options.push(r#""work_conserving":true"#.to_owned());
+    }
+    let n_tasks = rng.gen_range(1..=3usize);
+    let tasks: Vec<String> = (0..n_tasks)
+        .map(|i| {
+            let model = pick(rng, MODELS);
+            let period = PERIODS_US[rng.gen_range(0..PERIODS_US.len())];
+            let mut fields = vec![
+                format!(r#""name":"t{i}""#),
+                format!(r#""model":"{model}""#),
+                format!(r#""period_us":{period}"#),
+            ];
+            if rng.gen_bool(0.5) {
+                let deadline = period * rng.gen_range(60..=100u64) / 100;
+                fields.push(format!(r#""deadline_us":{deadline}"#));
+            }
+            if rng.gen_bool(0.25) {
+                fields.push(format!(
+                    r#""buffer_bytes":{}"#,
+                    4096 * rng.gen_range(1..=8u64)
+                ));
+            }
+            if rng.gen_bool(0.25) {
+                fields.push(format!(
+                    r#""activation_budget_bytes":{}"#,
+                    1024 * rng.gen_range(8..=64u64)
+                ));
+            }
+            format!("{{{}}}", fields.join(","))
+        })
+        .collect();
+    format!(
+        r#"{{"id":"{id}","platform":"{platform}","options":{{{}}},"tasks":[{}]}}"#,
+        options.join(","),
+        tasks.join(",")
+    )
+}
+
+/// Mutates one task of a request line: a different period (the nearest
+/// cache-relevant perturbation — everything but that one task's
+/// lowering should be reusable).
+fn mutate_period(line: &str, new_period: u64) -> String {
+    let start = line.find(r#""period_us":"#).expect("request has a period") + 12;
+    let end = start
+        + line[start..]
+            .find(|c: char| !c.is_ascii_digit())
+            .expect("digits end");
+    format!("{}{}{}", &line[..start], new_period, &line[end..])
+}
+
+/// The id is echoed verbatim; strip it so responses to the same
+/// question under different ids can be compared.
+fn strip_id(answer: &str) -> String {
+    let start = answer.find(r#""id":"#).expect("answer has an id");
+    let end = answer[start..].find(',').expect("id is not last") + start;
+    format!("{}{}", &answer[..start], &answer[end + 1..])
+}
+
+fn cold(line: &str) -> String {
+    Service::new().answer_line(line)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Warm answers are byte-identical to cold ones across random
+    /// requests and single-task mutations, including re-asking after
+    /// the mutation (a full-answer cache hit).
+    #[test]
+    fn warm_equals_cold_under_mutation(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_request(&mut rng, "q-base");
+        let mutated = mutate_period(&base, 1_000_000);
+
+        let service = Service::new();
+        let warm_base_first = service.answer_line(&base);
+        let warm_mut = service.answer_line(&mutated);
+        let warm_base_again = service.answer_line(&base);
+
+        prop_assert_eq!(&warm_base_first, &cold(&base), "first ask vs cold");
+        prop_assert_eq!(&warm_mut, &cold(&mutated), "mutated ask vs cold");
+        prop_assert_eq!(&warm_base_again, &warm_base_first, "cache hit changed bytes");
+
+        let stats = service.stats();
+        prop_assert_eq!(stats.queries, 3);
+        prop_assert!(stats.answers_reused >= 1, "third ask must hit the answer cache");
+    }
+
+    /// One batch, two worker counts, byte-identical output vectors:
+    /// results depend on input order only, never on which thread
+    /// answered which line.
+    #[test]
+    fn thread_count_never_changes_bytes(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lines = Vec::new();
+        for i in 0..4 {
+            let line = random_request(&mut rng, &format!("q-{i}"));
+            // Duplicates (fresh ids) exercise hit-vs-miss races between
+            // workers; the malformed line exercises error records.
+            lines.push(line.clone());
+            lines.push(line.replace(r#""id":"q-"#, r#""id":"dup-"#));
+        }
+        lines.push("{not json".to_owned());
+
+        let one = Service::new().answer_batch_with_threads(1, lines.clone());
+        let eight = Service::new().answer_batch_with_threads(8, lines.clone());
+        prop_assert_eq!(&one, &eight, "worker count changed batch bytes");
+        prop_assert_eq!(one.len(), lines.len());
+        prop_assert!(one.last().unwrap().contains(r#""ok":false"#));
+    }
+}
+
+/// Two textual spellings of one question (different ids, defaults
+/// spelled out) share a cache entry, and each response still echoes
+/// its own id.
+#[test]
+fn equivalent_requests_share_answers_across_ids() {
+    let a = r#"{"id":"alpha","platform":"stm32f746-qspi","options":{},"tasks":[{"name":"kws","model":"ds-cnn","period_us":100000}]}"#;
+    let b = r#"{"id":"beta","platform":"stm32f746-qspi","options":{},"tasks":[{"name":"kws","model":"ds-cnn","period_us":100000,"deadline_us":100000}]}"#;
+    let service = Service::new();
+    let ra = service.answer_line(a);
+    let rb = service.answer_line(b);
+    assert!(ra.contains(r#""id":"alpha""#));
+    assert!(rb.contains(r#""id":"beta""#));
+    assert_eq!(strip_id(&ra), strip_id(&rb));
+    assert_eq!(service.stats().answers_reused, 1);
+}
+
+/// A malformed line in the middle of a batch yields exactly one error
+/// record and leaves the neighbouring answers untouched.
+#[test]
+fn malformed_lines_do_not_poison_the_batch() {
+    let good = r#"{"id":"ok","platform":"stm32f746-qspi","options":{},"tasks":[{"name":"kws","model":"ds-cnn","period_us":100000}]}"#;
+    let lines = vec![
+        good.to_owned(),
+        r#"{"id":"bad","platform":"no-such-board","options":{},"tasks":[]}"#.to_owned(),
+        "]]]".to_owned(),
+        good.to_owned(),
+    ];
+    let service = Service::new();
+    let out = service.answer_batch(lines);
+    assert_eq!(out.len(), 4);
+    assert_eq!(out[0], out[3]);
+    assert!(out[0].contains(r#""ok":true"#));
+    assert!(out[1].contains(r#""ok":false"#) && out[1].contains("no-such-board"));
+    assert!(out[2].contains(r#""ok":false"#));
+    assert_eq!(out[0], cold(good));
+}

@@ -105,6 +105,24 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Content` round-trips through itself: this lets callers parse
+// arbitrary JSON into the raw tree (`serde_json::from_str::<Content>`)
+// for hand-rolled tolerant deserialization — the derived `Deserialize`
+// requires every field to be present, which is too strict for wire
+// formats with optional fields — and serialize a hand-built tree back
+// out (upstream serde_json offers the same via `Value`).
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_content(&self) -> Content {
         Content::Bool(*self)

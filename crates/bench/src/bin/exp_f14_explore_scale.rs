@@ -1,0 +1,7 @@
+//! Regenerates experiment `f14_explore_scale` (see DESIGN.md §4).
+fn main() {
+    rtmdm_bench::emit(
+        "f14_explore_scale",
+        &rtmdm_bench::experiments::f14_explore_scale(),
+    );
+}

@@ -14,7 +14,7 @@ use rtmdm_bench::{emit, experiments as e, par, results_dir, telemetry};
 type Experiment = (&'static str, fn() -> String);
 
 fn main() {
-    let experiments: [Experiment; 18] = [
+    let experiments: [Experiment; 19] = [
         ("t1_models", e::t1_models),
         ("t2_platforms", e::t2_platforms),
         ("t3_wcrt", e::t3_wcrt),
@@ -32,6 +32,7 @@ fn main() {
         ("f12_engine", e::f12_engine),
         ("f13_blame", e::f13_blame),
         ("f14_explore", e::f14_explore),
+        ("f14_explore_scale", e::f14_explore_scale),
         ("f15_fleet", e::f15_fleet),
     ];
     let registry = rtmdm_obs::metrics::global();
@@ -78,8 +79,25 @@ fn main() {
         fleet.speedup,
         fleet.identical
     );
-    let doc =
-        telemetry::RunMetrics::new(par::num_threads(), records, final_snapshot, engine, fleet);
+    // Likewise cached from the f14_explore_scale experiment.
+    let explore = e::explore_comparison();
+    println!(
+        "-- explore probe: fork {:.0} states/s vs replay {:.0} states/s \
+         at {} tasks ({:.1}x, identical: {})",
+        explore.fork_states_per_second,
+        explore.replay_states_per_second,
+        explore.tasks,
+        explore.speedup,
+        explore.identical
+    );
+    let doc = telemetry::RunMetrics::new(
+        par::num_threads(),
+        records,
+        final_snapshot,
+        engine,
+        fleet,
+        explore,
+    );
     let json = serde_json::to_string(&doc).expect("metrics serialize");
     let metrics_path = results_dir().join("metrics.json");
     if let Err(err) = std::fs::write(&metrics_path, &json) {

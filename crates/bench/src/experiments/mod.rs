@@ -18,7 +18,7 @@ pub use blame::f13_blame;
 pub use blocking::f6_blocking;
 pub use energy::f9_energy;
 pub use engine::{engine_comparison, f12_engine};
-pub use explore::f14_explore;
+pub use explore::{explore_comparison, f14_explore, f14_explore_scale};
 pub use fleet::{f15_fleet, fleet_comparison};
 pub use latency::{f1_latency, f4_sram_budget, f5_bandwidth};
 pub use platforms::f10_platforms;

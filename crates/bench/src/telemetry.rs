@@ -32,7 +32,9 @@ use rtmdm_xmem::{pipeline, segment_model, ExecutionStrategy};
 /// `metrics.json`, `response` in `BENCH_run_all.json`).
 /// v3: added the admission-service fleet throughput record (`fleet`
 /// in both documents; see [`FleetComparison`]).
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: added the explorer fork-versus-replay throughput record
+/// (`explore` in both documents; see [`ExploreComparison`]).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Telemetry of one experiment invocation inside `run_all`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -112,6 +114,34 @@ pub struct FleetComparison {
     /// `warm_queries_per_second / cold_queries_per_second`.
     pub speedup: f64,
     /// Whether warm answers matched cold answers byte for byte.
+    pub identical: bool,
+}
+
+/// Fork-versus-replay schedule-space-explorer throughput on the F14
+/// scale workload (see `experiments::explore_comparison`). The rates
+/// and speedup are wall-clock based and therefore nondeterministic;
+/// `identical` is exact — it records whether both strategies produced
+/// byte-identical verdicts, counters, and witness JSON on every scale
+/// cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExploreComparison {
+    /// Task count of the timed cell (the largest scale row, ≥ 6).
+    pub tasks: u64,
+    /// Distinct `(state, choice-point)` pairs both strategies expanded.
+    pub states: u64,
+    /// Oracle transitions both strategies took.
+    pub transitions: u64,
+    /// States expanded per wall second, fork strategy, single thread.
+    pub fork_states_per_second: f64,
+    /// Transitions per wall second, fork strategy, single thread.
+    pub fork_transitions_per_second: f64,
+    /// States expanded per wall second, replay strategy, single thread.
+    pub replay_states_per_second: f64,
+    /// Transitions per wall second, replay strategy, single thread.
+    pub replay_transitions_per_second: f64,
+    /// `fork_states_per_second / replay_states_per_second`.
+    pub speedup: f64,
+    /// Whether fork and replay agreed byte-for-byte on every cell.
     pub identical: bool,
 }
 
@@ -197,6 +227,9 @@ pub struct RunMetrics {
     /// Cold-versus-warm admission-service fleet throughput (see
     /// [`FleetComparison`]).
     pub fleet: FleetComparison,
+    /// Fork-versus-replay explorer throughput (see
+    /// [`ExploreComparison`]).
+    pub explore: ExploreComparison,
 }
 
 /// One entry of [`BenchSummary`].
@@ -229,6 +262,9 @@ pub struct BenchSummary {
     /// Cold-versus-warm admission-service fleet throughput (see
     /// [`FleetComparison`]).
     pub fleet: FleetComparison,
+    /// Fork-versus-replay explorer throughput (see
+    /// [`ExploreComparison`]).
+    pub explore: ExploreComparison,
 }
 
 impl RunMetrics {
@@ -240,6 +276,7 @@ impl RunMetrics {
         registry: Snapshot,
         engine: EngineComparison,
         fleet: FleetComparison,
+        explore: ExploreComparison,
     ) -> Self {
         let totals = RunTotals {
             wall_seconds: experiments.iter().map(|e| e.wall_seconds).sum(),
@@ -255,6 +292,7 @@ impl RunMetrics {
             probe: probe(),
             engine,
             fleet,
+            explore,
         }
     }
 
@@ -275,6 +313,7 @@ impl RunMetrics {
             engine: self.engine.clone(),
             response: self.probe.response.clone(),
             fleet: self.fleet.clone(),
+            explore: self.explore.clone(),
         }
     }
 }
@@ -398,7 +437,18 @@ mod tests {
             speedup: 10.0,
             identical: true,
         };
-        let doc = RunMetrics::new(4, vec![e.clone(), e], after, engine, fleet);
+        let explore = ExploreComparison {
+            tasks: 8,
+            states: 2_000,
+            transitions: 40_000,
+            fork_states_per_second: 5_000.0,
+            fork_transitions_per_second: 100_000.0,
+            replay_states_per_second: 500.0,
+            replay_transitions_per_second: 10_000.0,
+            speedup: 10.0,
+            identical: true,
+        };
+        let doc = RunMetrics::new(4, vec![e.clone(), e], after, engine, fleet, explore);
         assert_eq!(doc.totals.sim_runs, 6);
         assert_eq!(doc.totals.sim_cycles, 1200);
         let json = serde_json::to_string(&doc).unwrap();

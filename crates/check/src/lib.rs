@@ -52,7 +52,7 @@ pub use admission::{check_taskset, check_timing, AdmissionContext};
 pub use diag::{
     Category, Finding, JsonFinding, JsonReport, Report, Rule, RuleFilter, Severity, SCHEMA,
 };
-pub use explore::{explore, ExploreLimits, ExploreOutcome};
+pub use explore::{explore, ExploreLimits, ExploreOrder, ExploreOutcome, ExploreStrategy};
 pub use graph::check_model;
 pub use plan::check_plan;
 pub use platform::check_platform;

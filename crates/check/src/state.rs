@@ -2,18 +2,25 @@
 //! domains, the path oracle that drives one scripted run, and the
 //! replayable violation witness.
 //!
-//! The explorer (see [`mod@crate::explore`]) is *stateless* in the CHESS
-//! tradition: it never snapshots or restores simulator state. Each
-//! explored path is one complete simulator run driven by a
-//! [`PathOracle`] — a forced prefix of choices replayed positionally,
-//! then the deterministic default answer for every further query. While
-//! answering, the oracle logs every query together with the untaken
-//! alternatives, and consults a shared visited set keyed on the
+//! Each explored path is one simulator run driven by a [`PathOracle`]
+//! — a forced prefix of choices replayed positionally, then the
+//! deterministic default answer for every further query, with every
+//! query logged together with its untaken candidates. The oracle is
+//! deliberately **pure**: a path's entire behavior is a function of its
+//! forced prefix alone, which is what lets the explorer execute paths
+//! speculatively in parallel (and resume them from mid-run snapshots)
+//! without any result depending on execution order or thread count.
+//!
+//! The shared [`VisitedSet`] is consulted at *merge time* instead —
+//! when the explorer consumes a finished path, it walks the logged
+//! free-region queries in order ([`merge_path`]), keyed on the
 //! canonical state fingerprint *and* the choice point: once a
 //! `(state, point)` pair has been expanded on some path, every
 //! alternative at that pair is already scheduled, so a later path
 //! reaching it stops branching (it keeps running on defaults — a
-//! violation in the tail is still real and still reported).
+//! violation in the tail is still real and still reported). Because
+//! paths are consumed in one canonical order, this is step-for-step the
+//! same bookkeeping a sequential in-run oracle would do.
 //!
 //! Keying on the pair rather than the state alone matters: consecutive
 //! choice points within one instant (a release's jitter query followed
@@ -87,14 +94,19 @@ impl Domains {
 
 /// One logged oracle query of an explored run.
 #[derive(Debug, Clone)]
-pub struct ChoiceRecord {
+pub struct QueryRecord {
     /// The decision site.
     pub point: ChoicePoint,
     /// The answer given on this path.
     pub chosen: Choice,
-    /// Untaken candidates, recorded only at novel branch points (a
-    /// revisited or single-candidate point records none).
-    pub alternatives: Vec<Choice>,
+    /// The canonical state fingerprint at the query, for merge-time
+    /// visited bookkeeping.
+    pub state: StateHash,
+    /// Untaken candidate answers. Empty in the forced region (those
+    /// branch points belong to the run that scheduled the prefix) and
+    /// at single-candidate points; whether a non-empty set actually
+    /// branches is decided at merge time against the visited set.
+    pub branches: Vec<Choice>,
 }
 
 /// The shared dominance store: `(state, point)` pairs already expanded.
@@ -132,29 +144,27 @@ impl VisitedSet {
 
 /// The oracle that drives one explored path: replays the forced prefix
 /// positionally, then answers deterministic defaults, logging every
-/// query and expanding novel branch points into the visited set.
+/// query with its untaken candidates and the state fingerprint it
+/// observed.
+///
+/// The oracle holds no shared state — a path's log (and therefore its
+/// run) is a pure function of its prefix. Visited bookkeeping happens
+/// when the explorer consumes the log (see [`merge_path`]), which is
+/// what makes speculative parallel path execution exact.
 pub struct PathOracle<'a> {
     prefix: Vec<Choice>,
     domains: &'a Domains,
-    visited: &'a mut VisitedSet,
-    /// Every query of the run, in order, with untaken alternatives.
-    pub log: Vec<ChoiceRecord>,
-    /// Set when a free query hit an already-expanded `(state, point)`:
-    /// the rest of the run stops branching (its subtrees are covered
-    /// from the first visit).
-    pub merged: bool,
+    /// Every query of the run, in order.
+    pub log: Vec<QueryRecord>,
 }
 
 impl<'a> PathOracle<'a> {
-    /// An oracle forcing `prefix`, then defaults, against the shared
-    /// `visited` store.
-    pub fn new(prefix: Vec<Choice>, domains: &'a Domains, visited: &'a mut VisitedSet) -> Self {
+    /// An oracle forcing `prefix`, then defaults.
+    pub fn new(prefix: Vec<Choice>, domains: &'a Domains) -> Self {
         PathOracle {
             prefix,
             domains,
-            visited,
             log: Vec::new(),
-            merged: false,
         }
     }
 }
@@ -162,32 +172,48 @@ impl<'a> PathOracle<'a> {
 impl SimOracle for PathOracle<'_> {
     fn choose(&mut self, point: ChoicePoint, state: StateHash) -> Choice {
         let index = self.log.len();
-        let (chosen, alternatives) = if index < self.prefix.len() {
+        let (chosen, branches) = if index < self.prefix.len() {
             // Forced region: replay; its branch points were expanded by
             // the run that scheduled this prefix.
             (self.prefix[index], Vec::new())
         } else {
             let mut cands = self.domains.candidates(&point);
-            let chosen = cands[0];
-            let alternatives =
-                if cands.len() > 1 && !self.merged && self.visited.insert(state, point) {
-                    cands.remove(0);
-                    cands
-                } else {
-                    if cands.len() > 1 && !self.merged {
-                        self.merged = true;
-                    }
-                    Vec::new()
-                };
-            (chosen, alternatives)
+            let chosen = cands.remove(0);
+            (chosen, cands)
         };
-        self.log.push(ChoiceRecord {
+        self.log.push(QueryRecord {
             point,
             chosen,
-            alternatives,
+            state,
+            branches,
         });
         chosen
     }
+}
+
+/// Merge-time visited bookkeeping over one consumed path: walks the
+/// logged queries in order, expands each novel multi-candidate
+/// `(state, point)` pair into `visited`, and stops at the first
+/// already-expanded pair — the path *merges*; its remaining subtrees
+/// were covered from the pair's first visit. Returns the log indices
+/// whose branches the explorer must schedule.
+///
+/// Paths are consumed in one canonical order regardless of how many
+/// threads executed them, so this reproduces exactly the insertions an
+/// in-run sequential oracle would have made.
+pub fn merge_path(log: &[QueryRecord], visited: &mut VisitedSet) -> Vec<usize> {
+    let mut expansions = Vec::new();
+    for (i, rec) in log.iter().enumerate() {
+        if rec.branches.is_empty() {
+            continue;
+        }
+        if visited.insert(rec.state, rec.point) {
+            expansions.push(i);
+        } else {
+            break;
+        }
+    }
+    expansions
 }
 
 /// Counters of one exploration.
@@ -270,11 +296,12 @@ mod tests {
         let d = jitter_domains(0);
         let p = ChoicePoint::ReleaseJitter { task: 0, job: 0 };
         assert_eq!(d.candidates(&p).len(), 1);
-        let mut visited = VisitedSet::new();
-        let mut oracle = PathOracle::new(Vec::new(), &d, &mut visited);
+        let mut oracle = PathOracle::new(Vec::new(), &d);
         let c = oracle.choose(p, StateHash(1));
         assert_eq!(c, Choice::ReleaseJitter(Cycles::ZERO));
-        assert!(oracle.log[0].alternatives.is_empty());
+        assert!(oracle.log[0].branches.is_empty());
+        let mut visited = VisitedSet::new();
+        assert!(merge_path(&oracle.log, &mut visited).is_empty());
         assert!(visited.is_empty(), "non-branching points cost no budget");
     }
 
@@ -284,26 +311,26 @@ mod tests {
         let p = ChoicePoint::ReleaseJitter { task: 0, job: 0 };
         let mut visited = VisitedSet::new();
         {
-            let mut oracle = PathOracle::new(Vec::new(), &d, &mut visited);
+            let mut oracle = PathOracle::new(Vec::new(), &d);
             assert_eq!(
                 oracle.choose(p, StateHash(1)),
                 Choice::ReleaseJitter(Cycles::ZERO)
             );
             assert_eq!(
-                oracle.log[0].alternatives,
+                oracle.log[0].branches,
                 vec![Choice::ReleaseJitter(Cycles::new(50))]
             );
+            assert_eq!(merge_path(&oracle.log, &mut visited), vec![0]);
         }
-        // A second path reaching the same (state, point) merges: no
-        // alternatives, and the rest of that path stops expanding.
+        // A second path reaching the same (state, point) merges: its
+        // branches are not scheduled, and the rest of that path stops
+        // expanding — even a novel later pair.
         {
-            let mut oracle = PathOracle::new(Vec::new(), &d, &mut visited);
+            let mut oracle = PathOracle::new(Vec::new(), &d);
             oracle.choose(p, StateHash(1));
-            assert!(oracle.log[0].alternatives.is_empty());
-            assert!(oracle.merged);
             let later = ChoicePoint::ReleaseJitter { task: 0, job: 1 };
             oracle.choose(later, StateHash(2));
-            assert!(oracle.log[1].alternatives.is_empty());
+            assert!(merge_path(&oracle.log, &mut visited).is_empty());
         }
         assert_eq!(visited.len(), 1);
     }
@@ -317,8 +344,7 @@ mod tests {
             jitter_max_cycles: 50,
             explore_faults: false,
         };
-        let mut visited = VisitedSet::new();
-        let mut oracle = PathOracle::new(Vec::new(), &d, &mut visited);
+        let mut oracle = PathOracle::new(Vec::new(), &d);
         let jitter = ChoicePoint::ReleaseJitter { task: 0, job: 0 };
         let exec = ChoicePoint::ExecScale {
             task: 0,
@@ -327,23 +353,53 @@ mod tests {
         };
         oracle.choose(jitter, StateHash(7));
         oracle.choose(exec, StateHash(7));
-        assert_eq!(oracle.log[0].alternatives.len(), 1);
-        assert_eq!(oracle.log[1].alternatives.len(), 1, "not merged away");
+        let mut visited = VisitedSet::new();
+        assert_eq!(
+            merge_path(&oracle.log, &mut visited),
+            vec![0, 1],
+            "not merged away"
+        );
         assert_eq!(visited.len(), 2);
     }
 
     #[test]
     fn prefix_region_is_forced_verbatim() {
         let d = jitter_domains(50);
-        let mut visited = VisitedSet::new();
         let forced = vec![Choice::ReleaseJitter(Cycles::new(50))];
-        let mut oracle = PathOracle::new(forced, &d, &mut visited);
+        let mut oracle = PathOracle::new(forced, &d);
         let p = ChoicePoint::ReleaseJitter { task: 0, job: 0 };
         assert_eq!(
             oracle.choose(p, StateHash(3)),
             Choice::ReleaseJitter(Cycles::new(50))
         );
-        assert!(oracle.log[0].alternatives.is_empty());
+        assert!(oracle.log[0].branches.is_empty());
+        let mut visited = VisitedSet::new();
+        assert!(merge_path(&oracle.log, &mut visited).is_empty());
         assert!(visited.is_empty(), "forced region does no bookkeeping");
+    }
+
+    /// The purity contract the parallel frontier rests on: two oracles
+    /// with the same prefix over the same query sequence produce
+    /// identical logs — no shared state, no order dependence.
+    #[test]
+    fn path_logs_are_a_pure_function_of_the_prefix() {
+        let d = jitter_domains(50);
+        let drive = || {
+            let mut oracle = PathOracle::new(vec![Choice::ReleaseJitter(Cycles::new(50))], &d);
+            for job in 0..4 {
+                oracle.choose(
+                    ChoicePoint::ReleaseJitter { task: 0, job },
+                    StateHash(job as u128),
+                );
+            }
+            oracle.log
+        };
+        let a = drive();
+        let b = drive();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.point, x.chosen, x.state), (y.point, y.chosen, y.state));
+            assert_eq!(x.branches, y.branches);
+        }
     }
 }

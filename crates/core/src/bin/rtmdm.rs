@@ -56,7 +56,12 @@
 //! default is 20000; exceeding the bound reports `RTM053`,
 //! inconclusive rather than silently safe) and `--witness PATH`
 //! writes the replayable counterexample JSON when a violation is
-//! reached. Exit status: 0 on success (schedulable for `admit`, no
+//! reached. `--strategy replay|fork` picks how the explorer executes
+//! each path (`fork`, the default, resumes branches from mid-run
+//! snapshots; `replay` re-runs each path from time zero) and
+//! `--threads N` sets the speculative path-execution workers (0, the
+//! default, defers to `RTMDM_THREADS`); neither changes a single
+//! output byte. Exit status: 0 on success (schedulable for `admit`, no
 //! errors for `check`), 2 when admission or verification rejects, 1
 //! on usage errors.
 
@@ -78,7 +83,7 @@ fn usage() -> ExitCode {
          [--miss-policy continue|abort|skip-next] [--engine legacy|des] \
          [--attribution on|off] [--out PATH] [--format chrome|jsonl] [--gantt] \
          [--json] [--deny-warnings] [--allow RULE] [--deny RULE] [--explain RULE] \
-         [--explore] [--max-states N] [--witness PATH] \
+         [--explore] [--max-states N] [--strategy replay|fork] [--threads N] [--witness PATH] \
          (serve: [--once] [--input PATH])"
     );
     ExitCode::from(1)
@@ -115,6 +120,8 @@ struct Cli {
     explain: Option<String>,
     explore: bool,
     max_states: Option<usize>,
+    explore_strategy: rtmdm_core::ExploreStrategy,
+    threads: usize,
     witness: Option<String>,
 }
 
@@ -168,6 +175,8 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
     let mut explain = None;
     let mut explore = false;
     let mut max_states = None;
+    let mut explore_strategy = rtmdm_core::ExploreStrategy::default();
+    let mut threads = 0;
     let mut witness = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -291,6 +300,24 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
                         .ok_or(CliError::Usage)?,
                 );
             }
+            "--strategy" => {
+                let s = it.next().ok_or(CliError::Usage)?;
+                explore_strategy = match s.as_str() {
+                    "replay" => rtmdm_core::ExploreStrategy::Replay,
+                    "fork" => rtmdm_core::ExploreStrategy::Fork,
+                    _ => {
+                        return Err(CliError::Msg(format!(
+                            "unknown --strategy `{s}` (expected `replay` or `fork`)"
+                        )))
+                    }
+                };
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError::Usage)?;
+            }
             "--witness" => witness = Some(it.next().ok_or(CliError::Usage)?.clone()),
             _ => return Err(CliError::Usage),
         }
@@ -312,6 +339,8 @@ fn parse(args: &[String]) -> Result<Cli, CliError> {
         explain,
         explore,
         max_states,
+        explore_strategy,
+        threads,
         witness,
     })
 }
@@ -656,6 +685,8 @@ fn cmd_check(cli: &Cli) -> ExitCode {
             // below WCET. The explorer turns that into a per-job
             // execution-time choice dimension.
             exec_scale_min_ppm: 1_000_000 - cli.jitter_pct * 10_000,
+            strategy: cli.explore_strategy,
+            threads: cli.threads,
             ..rtmdm_core::ExploreOptions::default()
         }),
     };

@@ -23,8 +23,8 @@
 
 use rtmdm_check::{
     check_model, check_plan, check_platform, check_sram_regions, check_staging, check_taskset,
-    check_timing, AdmissionContext, ExploreLimits, ExploreStats, Finding, Report, Rule, SramRegion,
-    Witness,
+    check_timing, AdmissionContext, ExploreLimits, ExploreStats, ExploreStrategy, Finding, Report,
+    Rule, SramRegion, Witness,
 };
 use rtmdm_mcusim::{Cycles, PlatformConfig};
 use rtmdm_sched::analysis::hyperperiod;
@@ -64,6 +64,14 @@ pub struct ExploreOptions {
     /// the double-buffer discipline. Wider windows exist for `RTM051`
     /// reachability experiments.
     pub staging_window: u32,
+    /// Path-execution strategy (`--strategy replay|fork`). Verdicts,
+    /// counters, and witnesses are byte-identical across strategies;
+    /// `Fork` (the default) is the cheaper one.
+    pub strategy: ExploreStrategy,
+    /// Worker threads for speculative path execution (`--threads`);
+    /// `0` (the default) defers to `RTMDM_THREADS` / available
+    /// parallelism. Outputs are byte-identical at any count.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
@@ -74,6 +82,8 @@ impl Default for ExploreOptions {
             exec_scale_min_ppm: 1_000_000,
             horizon_us: None,
             staging_window: 2,
+            strategy: ExploreStrategy::default(),
+            threads: 0,
         }
     }
 }
@@ -270,6 +280,9 @@ impl SystemSpec {
         let limits = ExploreLimits {
             max_states: x.max_states,
             jitter_max_cycles: self.platform.cpu.cycles_from_micros(x.jitter_max_us).get(),
+            strategy: x.strategy,
+            threads: x.threads,
+            ..ExploreLimits::default()
         };
         let outcome = rtmdm_check::explore(&ordered, &self.platform, &config, &limits);
         let mut report = report;

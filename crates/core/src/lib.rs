@@ -59,5 +59,6 @@ pub use advisor::OptimizeOutcome;
 pub use check::{CheckOptions, CheckOutcome, ExploreOptions, SystemSpec};
 pub use error::AdmitError;
 pub use framework::{Admission, FrameworkOptions, PriorityAssignment, RtMdm, RunReport, SramRow};
+pub use rtmdm_check::ExploreStrategy;
 pub use service::{CacheStats, Service, SERVE_SCHEMA};
 pub use spec::{Strategy, TaskSpec};

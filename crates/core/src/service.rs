@@ -38,7 +38,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use rtmdm_check::Report;
 use rtmdm_dnn::zoo;
@@ -63,12 +63,19 @@ pub use rtmdm_check::JsonReport;
 /// Schema tag stamped into every response line.
 pub const SERVE_SCHEMA: &str = "rtmdm-serve/1";
 
-/// Locks a mutex, recovering the guard if a previous holder panicked.
-/// Every cached value is immutable once inserted, so a poisoned map is
-/// still internally consistent — dropping the whole cache over a
-/// worker panic would only cost recomputation, not correctness.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// Takes a shared read lock, recovering the guard if a previous holder
+/// panicked. Every cached value is immutable once inserted, so a
+/// poisoned map is still internally consistent — dropping the whole
+/// cache over a worker panic would only cost recomputation, not
+/// correctness.
+fn read<T>(m: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    m.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Takes the exclusive write lock (see [`read`] for poison recovery).
+/// Held only for the insert itself, never across a computation.
+fn write<T>(m: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    m.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Monotone hit counters, updated with relaxed atomics (they are
@@ -158,10 +165,14 @@ struct ErrorRecord {
 /// sub-problem the admission pipeline computes.
 ///
 /// All methods take `&self`; the caches are interior-mutable behind
-/// mutexes, so one `Service` can be shared by the worker threads of a
-/// sharded batch. Two workers racing on the same missing key may both
-/// compute it — the computation is deterministic, so whichever insert
-/// lands first wins and both return the same value.
+/// reader-writer locks, so one `Service` can be shared by the worker
+/// threads of a sharded batch, and the warm path — a fleet of repeats
+/// hitting keys that are already cached — takes only shared read
+/// locks, never serializing the workers behind one another. The write
+/// lock is held for the insert alone, never across a computation. Two
+/// workers racing on the same missing key may both compute it — the
+/// computation is deterministic, so whichever insert lands first wins
+/// and both return the same value.
 ///
 /// # Examples
 ///
@@ -180,14 +191,14 @@ pub struct Service {
     /// `canonical_key("lower", …)` → lowered spec. Only successful
     /// lowerings are cached; errors are rare and cheap to recompute
     /// (and [`AdmitError`] is deliberately not `Clone`).
-    lowerings: Mutex<HashMap<String, Lowered>>,
+    lowerings: RwLock<HashMap<String, Lowered>>,
     /// Analysis key (policy + dma-awareness + RTA sub-problem) → RTA /
     /// EDF fixed point.
-    analyses: Mutex<HashMap<String, AnalysisOutcome>>,
+    analyses: RwLock<HashMap<String, AnalysisOutcome>>,
     /// `headroom:` + RTA sub-problem key → critical scaling factor.
-    headrooms: Mutex<HashMap<String, u64>>,
+    headrooms: RwLock<HashMap<String, u64>>,
     /// Normalized request (id stripped) → finished answer.
-    answers: Mutex<HashMap<String, Answer>>,
+    answers: RwLock<HashMap<String, Answer>>,
     stats: Counters,
 }
 
@@ -256,12 +267,12 @@ impl Service {
     /// The answer for a parsed request, via the full-query cache.
     fn answer_for(&self, req: &ParsedRequest) -> Answer {
         let key = request_key(req);
-        if let Some(hit) = lock(&self.answers).get(&key).cloned() {
+        if let Some(hit) = read(&self.answers).get(&key).cloned() {
             self.stats.answers_reused.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         let answer = self.evaluate(req);
-        lock(&self.answers)
+        write(&self.answers)
             .entry(key)
             .or_insert_with(|| answer.clone());
         answer
@@ -344,12 +355,12 @@ impl Service {
         }
         let mode = scheduler_mode(options);
         let key = format!("headroom:{}", analysis_key(ordered, platform, mode));
-        if let Some(&hit) = lock(&self.headrooms).get(&key) {
+        if let Some(&hit) = read(&self.headrooms).get(&key) {
             self.stats.headrooms_reused.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         let value = critical_scaling_ppm(ordered, platform, mode);
-        lock(&self.headrooms).insert(key, value);
+        write(&self.headrooms).insert(key, value);
         value
     }
 }
@@ -378,7 +389,7 @@ impl AdmissionHooks for CachedHooks<'_> {
             ("spec".to_owned(), spec.to_content()),
         ]);
         let key = canonical_key("lower", &doc);
-        if let Some(hit) = lock(&self.service.lowerings).get(&key).cloned() {
+        if let Some(hit) = read(&self.service.lowerings).get(&key).cloned() {
             self.service
                 .stats
                 .lowerings_reused
@@ -386,7 +397,7 @@ impl AdmissionHooks for CachedHooks<'_> {
             return Ok(hit);
         }
         let lowered = lower_spec(platform, options, spec, cap)?;
-        lock(&self.service.lowerings).insert(key, lowered.clone());
+        write(&self.service.lowerings).insert(key, lowered.clone());
         Ok(lowered)
     }
 
@@ -411,7 +422,7 @@ impl AdmissionHooks for CachedHooks<'_> {
             ),
         ]);
         let key = canonical_key("analysis", &doc);
-        if let Some(hit) = lock(&self.service.analyses).get(&key).cloned() {
+        if let Some(hit) = read(&self.service.analyses).get(&key).cloned() {
             self.service
                 .stats
                 .analyses_reused
@@ -419,7 +430,7 @@ impl AdmissionHooks for CachedHooks<'_> {
             return hit;
         }
         let outcome = direct_analysis(ordered, platform, options);
-        lock(&self.service.analyses).insert(key, outcome.clone());
+        write(&self.service.analyses).insert(key, outcome.clone());
         outcome
     }
 }

@@ -115,6 +115,16 @@ impl<T> EventQueue<T> {
         entries.sort_by_key(|e| (e.time, e.seq));
         entries.into_iter().map(|e| (e.time, &e.payload)).collect()
     }
+
+    /// Whether any pending event at exactly `time` satisfies `pred`.
+    /// A plain `O(n)` heap scan without allocation or sorting — cheap
+    /// enough for per-instant predicates (e.g. "may this instant ask
+    /// the choice oracle?"), unlike [`EventQueue::ordered`].
+    pub fn any_at(&self, time: Cycles, mut pred: impl FnMut(&T) -> bool) -> bool {
+        self.heap
+            .iter()
+            .any(|Reverse(e)| e.time == time && pred(&e.payload))
+    }
 }
 
 impl<T> Default for EventQueue<T> {
@@ -238,6 +248,24 @@ mod tests {
             drained.push((t.get(), v));
         }
         assert_eq!(snapshot, drained);
+    }
+
+    /// `any_at` must see exactly the events pending at the probed
+    /// instant, and nothing at other instants.
+    #[test]
+    fn any_at_scans_only_the_probed_instant() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(5), "a");
+        q.push(Cycles::new(7), "b");
+        q.push(Cycles::new(5), "c");
+        assert!(q.any_at(Cycles::new(5), |&v| v == "c"));
+        assert!(q.any_at(Cycles::new(7), |&v| v == "b"));
+        assert!(!q.any_at(Cycles::new(5), |&v| v == "b"));
+        assert!(!q.any_at(Cycles::new(6), |_| true));
+        q.pop();
+        // Popped events are no longer visible.
+        assert!(!q.any_at(Cycles::new(5), |&v| v == "a"));
+        assert!(q.any_at(Cycles::new(5), |&v| v == "c"));
     }
 
     /// Differential check against a stable-sort reference model: for a

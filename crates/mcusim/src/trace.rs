@@ -269,6 +269,18 @@ impl Trace {
         &self.events
     }
 
+    /// A new trace holding only the first `len` events — the
+    /// restore-from-snapshot primitive: traces are append-only, so a
+    /// simulator state captured mid-run is re-entered by truncating the
+    /// finished run's trace back to the captured length instead of
+    /// re-simulating (and re-emitting) the whole prefix. `len` is
+    /// clamped to the recorded length.
+    pub fn truncated(&self, len: usize) -> Trace {
+        Trace {
+            events: self.events[..len.min(self.events.len())].to_vec(),
+        }
+    }
+
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -513,6 +525,20 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn truncated_keeps_exactly_the_prefix() {
+        let mut t = Trace::new();
+        for i in 0..5u64 {
+            t.push(Cycles::new(i * 10), TraceKind::CpuIdle);
+        }
+        let head = t.truncated(3);
+        assert_eq!(head.len(), 3);
+        assert_eq!(head.events(), &t.events()[..3]);
+        // Clamped, not panicking, past the end; zero yields empty.
+        assert_eq!(t.truncated(99).events(), t.events());
+        assert!(t.truncated(0).is_empty());
+    }
 
     fn cy(n: u64) -> Cycles {
         Cycles::new(n)

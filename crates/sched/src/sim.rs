@@ -58,6 +58,8 @@
 //!   contended-rate division at every cut. See `DESIGN.md` for the
 //!   heap contract and the settlement-exactness argument.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -535,6 +537,91 @@ struct DmaRequest {
     credit: u64,
 }
 
+/// A resumable mid-run image of the simulator, captured at an instant
+/// boundary (loop top, before the clock advances into the instant).
+///
+/// A snapshot holds everything that determines future behavior — the
+/// pending-event heap, the DES wake front, both resource slots with
+/// their sub-cycle credits, per-task job queues, the staging request
+/// queue, stats/metrics accumulators — plus the *position* of the run
+/// at capture: how many oracle queries were answered and how many trace
+/// events were emitted before the captured instant. The trace itself is
+/// not copied per snapshot: traces are append-only, so every snapshot
+/// of a run shares one `Arc` of the finished trace and a resume
+/// truncates it back to the captured length
+/// ([`Trace::truncated`]).
+///
+/// Deliberately **excluded** are the engine-private dirty flags
+/// (`cpu_dirty`/`dma_dirty`) — both are false at every instant boundary
+/// and differ across engines mid-instant — and the RNG, which is never
+/// consulted in oracle mode (the only mode snapshots exist in). A run
+/// resumed from a snapshot is byte-identical to the run that captured
+/// it, including the oracle fingerprint sequence, on both engines
+/// (pinned by tests).
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    now: Cycles,
+    settled_to: Cycles,
+    cpu_fin: Option<Cycles>,
+    dma_fin: Option<Cycles>,
+    fin_phase_both: bool,
+    needs_dispatch: bool,
+    idle_open: bool,
+    last_cpu_task: Option<usize>,
+    cpu: Option<CpuExec>,
+    dma: Option<DmaExec>,
+    dma_queue: Vec<DmaRequest>,
+    tasks: Vec<TaskState>,
+    events: EventQueue<TimedEvent>,
+    stats: Vec<TaskStats>,
+    metrics: SimMetrics,
+    races: Vec<StagingRace>,
+    trace_len: usize,
+    queries_before: usize,
+    /// The capturing run's full trace, attached once when that run
+    /// finishes and shared by all of its snapshots.
+    trace_src: Option<Arc<Trace>>,
+}
+
+impl SimSnapshot {
+    /// How many oracle queries the capturing run had answered before
+    /// the captured instant. A resumed run re-asks exactly the queries
+    /// from this position on; callers use it to translate between
+    /// absolute choice positions and snapshot-relative ones.
+    pub fn queries_before(&self) -> usize {
+        self.queries_before
+    }
+
+    /// The instant the snapshot was captured at (the boundary *before*
+    /// this instant is processed).
+    pub fn instant(&self) -> Cycles {
+        self.now
+    }
+
+    /// Approximate heap footprint of the snapshot in bytes — the cost
+    /// audit for the fork path (DESIGN.md §2.7). Dominated by the job
+    /// queues and the event heap; the shared trace `Arc` is counted as
+    /// a pointer, not as the trace.
+    pub fn size_hint(&self) -> usize {
+        use std::mem::size_of;
+        let jobs: usize = self.tasks.iter().map(|t| t.jobs.len()).sum();
+        let seg_cycles: usize = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.jobs.iter())
+            .map(|j| j.seg_compute.len())
+            .sum();
+        size_of::<SimSnapshot>()
+            + self.tasks.len() * size_of::<TaskState>()
+            + jobs * size_of::<Job>()
+            + seg_cycles * size_of::<Cycles>()
+            + self.events.len() * (size_of::<TimedEvent>() + 2 * size_of::<u64>())
+            + self.dma_queue.len() * size_of::<DmaRequest>()
+            + self.stats.len() * size_of::<TaskStats>()
+            + self.races.len() * size_of::<StagingRace>()
+    }
+}
+
 struct Sim<'a> {
     ts: &'a TaskSet,
     platform: &'a PlatformConfig,
@@ -597,6 +684,13 @@ struct Sim<'a> {
     /// deterministic in queue+resource state, so an unchanged state
     /// re-derives the same no-op the previous instant concluded with.
     needs_dispatch: bool,
+    /// Oracle queries answered so far in *this* run (resumed runs count
+    /// from the snapshot, not from time zero). Positions snapshots
+    /// relative to the choice sequence.
+    queries: usize,
+    /// Fork support: when present, a [`SimSnapshot`] is pushed here at
+    /// every instant boundary that may reach an oracle query.
+    capture: Option<&'a mut Vec<SimSnapshot>>,
 }
 
 /// Runs the simulation of `ts` on `platform` under `config`.
@@ -624,7 +718,7 @@ struct Sim<'a> {
 /// # }
 /// ```
 pub fn simulate(ts: &TaskSet, platform: &PlatformConfig, config: &SimConfig) -> SimResult {
-    run_sim(ts, platform, config, None)
+    run_sim(ts, platform, config, None, None, None)
 }
 
 /// Runs the simulation with every nondeterministic decision answered by
@@ -641,7 +735,39 @@ pub fn simulate_with_oracle(
     config: &SimConfig,
     oracle: &mut dyn SimOracle,
 ) -> SimResult {
-    run_sim(ts, platform, config, Some(oracle))
+    run_sim(ts, platform, config, Some(oracle), None, None)
+}
+
+/// [`simulate_with_oracle`] with fork support — the incremental
+/// re-execution primitive of the schedule-space explorer.
+///
+/// - `resume_from` re-enters a mid-run [`SimSnapshot`] instead of
+///   starting at time zero: the run continues from the captured instant
+///   boundary and is byte-identical (trace, stats, metrics, races,
+///   fingerprints) to the suffix of the run that captured it, on either
+///   engine. Its cost is proportional to the *remaining* horizon, not
+///   the full one.
+/// - `capture`, when provided, collects a snapshot at every instant
+///   boundary that may reach an oracle query (a release entering a job,
+///   or a DMA completion under an active fault environment), so a
+///   caller branching at choice point `q` can fork from the latest
+///   snapshot with [`SimSnapshot::queries_before`]` ≤ q` and replay at
+///   most one partial instant. Snapshots are finalized (their shared
+///   trace attached) before this function returns.
+///
+/// The predicate over-approximates: a captured instant may turn out to
+/// ask nothing. It can also under-approximate only at the cost of
+/// speed, never soundness — branches then fork from an earlier
+/// snapshot, or from time zero if none precedes them.
+pub fn simulate_with_oracle_forked(
+    ts: &TaskSet,
+    platform: &PlatformConfig,
+    config: &SimConfig,
+    oracle: &mut dyn SimOracle,
+    resume_from: Option<&SimSnapshot>,
+    capture: Option<&mut Vec<SimSnapshot>>,
+) -> SimResult {
+    run_sim(ts, platform, config, Some(oracle), resume_from, capture)
 }
 
 fn run_sim<'a>(
@@ -649,7 +775,17 @@ fn run_sim<'a>(
     platform: &'a PlatformConfig,
     config: &'a SimConfig,
     oracle: Option<&'a mut dyn SimOracle>,
+    resume_from: Option<&SimSnapshot>,
+    capture: Option<&'a mut Vec<SimSnapshot>>,
 ) -> SimResult {
+    // Snapshots exclude the RNG (never consulted under an oracle), so
+    // fork/capture are defined in oracle mode only.
+    let oracle_mode = oracle.is_some();
+    assert!(
+        oracle_mode || (resume_from.is_none() && capture.is_none()),
+        "fork/capture require an oracle"
+    );
+    let capture_base = capture.as_ref().map_or(0, |c| c.len());
     let mut sim = Sim {
         ts,
         platform,
@@ -686,9 +822,16 @@ fn run_sim<'a>(
         dma_dirty: false,
         fin_phase_both: false,
         needs_dispatch: true,
+        queries: 0,
+        capture,
     };
-    for i in 0..ts.len() {
-        sim.schedule(Cycles::ZERO, TimedEvent::Release(i));
+    match resume_from {
+        Some(snap) => sim.restore(snap),
+        None => {
+            for i in 0..ts.len() {
+                sim.schedule(Cycles::ZERO, TimedEvent::Release(i));
+            }
+        }
     }
     match config.engine {
         Engine::Legacy => sim.run_legacy(),
@@ -701,7 +844,23 @@ fn run_sim<'a>(
         metrics: sim.metrics,
         races: sim.races,
     };
-    flush_global_metrics(&result, config.engine);
+    // Finalize this run's snapshots: all of them share one Arc of the
+    // finished trace, from which a resume copies back its prefix.
+    if let Some(cap) = sim.capture {
+        if cap.len() > capture_base {
+            let shared = Arc::new(result.trace.clone());
+            for snap in &mut cap[capture_base..] {
+                snap.trace_src = Some(Arc::clone(&shared));
+            }
+        }
+    }
+    // Oracle-driven runs are exploration probes, not workload runs:
+    // flushing them would make the registry depend on how many
+    // speculative branches an explorer happened to execute. Their
+    // throughput is reported by the explorer itself.
+    if !oracle_mode {
+        flush_global_metrics(&result, config.engine);
+    }
     result
 }
 
@@ -827,6 +986,9 @@ impl Sim<'_> {
                 self.now = self.config.horizon;
                 break;
             }
+            if self.capture.is_some() && self.may_query_at(next, dma_fin == Some(next)) {
+                self.capture_snapshot();
+            }
             self.settle_interval(next, cpu_fin, dma_fin);
             self.now = next;
 
@@ -883,6 +1045,9 @@ impl Sim<'_> {
                 self.settle_interval(self.config.horizon, cf, df);
                 self.now = self.config.horizon;
                 break;
+            }
+            if self.capture.is_some() && self.may_query_at(t, self.dma_fin == Some(t)) {
+                self.capture_snapshot();
             }
             self.now = t;
 
@@ -968,6 +1133,96 @@ impl Sim<'_> {
             debug_assert_eq!(self.settled_to, self.now, "fin refresh on unsettled state");
             self.dma_fin = self.dma_finish_estimate();
         }
+    }
+
+    /// Whether the instant `t` the engine is about to process can reach
+    /// an oracle query: a (jittered) release enters a job
+    /// (`ReleaseJitter`/`ExecScale`), or a DMA transfer completes while
+    /// the fault environment is active with retry budget left
+    /// (`TransferFault`). Over-approximation is harmless — a
+    /// superfluous snapshot costs memory, never correctness — and the
+    /// check is an O(pending) heap scan with no allocation.
+    fn may_query_at(&self, t: Cycles, dma_done: bool) -> bool {
+        if dma_done
+            && self.config.fault.dma_fault_rate_ppm > 0
+            && self
+                .dma
+                .is_some_and(|d| d.attempt < self.config.fault.max_retries)
+        {
+            return true;
+        }
+        self.events.any_at(t, |ev| {
+            matches!(
+                ev,
+                TimedEvent::Release(_) | TimedEvent::JitteredRelease { .. }
+            )
+        })
+    }
+
+    /// Pushes a [`SimSnapshot`] of the current instant boundary into
+    /// the capture sink. Called at the loop top, before the clock
+    /// advances into the instant — the one point where both engines'
+    /// states are clean (`cpu_dirty`/`dma_dirty` are semantically
+    /// false, the DES wake front is exact) and re-enterable.
+    fn capture_snapshot(&mut self) {
+        let snap = SimSnapshot {
+            now: self.now,
+            settled_to: self.settled_to,
+            cpu_fin: self.cpu_fin,
+            dma_fin: self.dma_fin,
+            fin_phase_both: self.fin_phase_both,
+            needs_dispatch: self.needs_dispatch,
+            idle_open: self.idle_open,
+            last_cpu_task: self.last_cpu_task,
+            cpu: self.cpu,
+            dma: self.dma,
+            dma_queue: self.dma_queue.clone(),
+            tasks: self.tasks.clone(),
+            events: self.events.clone(),
+            stats: self.stats.clone(),
+            metrics: self.metrics,
+            races: self.races.clone(),
+            trace_len: self.trace.len(),
+            queries_before: self.queries,
+            trace_src: None,
+        };
+        self.capture
+            .as_mut()
+            .expect("capture sink checked by caller")
+            .push(snap);
+    }
+
+    /// Re-enters a captured instant boundary: every semantic field is
+    /// restored, the trace is truncated back to the captured prefix,
+    /// and the engine-private dirty flags — deliberately absent from
+    /// the snapshot — are reset to their boundary value (false). The
+    /// event heap clone preserves its FIFO sequence counter, so events
+    /// pushed after the resume tie-break exactly as they did in the
+    /// capturing run.
+    fn restore(&mut self, snap: &SimSnapshot) {
+        self.now = snap.now;
+        self.settled_to = snap.settled_to;
+        self.cpu_fin = snap.cpu_fin;
+        self.dma_fin = snap.dma_fin;
+        self.fin_phase_both = snap.fin_phase_both;
+        self.needs_dispatch = snap.needs_dispatch;
+        self.idle_open = snap.idle_open;
+        self.last_cpu_task = snap.last_cpu_task;
+        self.cpu = snap.cpu;
+        self.dma = snap.dma;
+        self.dma_queue = snap.dma_queue.clone();
+        self.tasks = snap.tasks.clone();
+        self.events = snap.events.clone();
+        self.stats = snap.stats.clone();
+        self.metrics = snap.metrics;
+        self.races = snap.races.clone();
+        self.trace = snap
+            .trace_src
+            .as_ref()
+            .expect("resume from unfinalized snapshot")
+            .truncated(snap.trace_len);
+        self.cpu_dirty = false;
+        self.dma_dirty = false;
     }
 
     /// Opens a [`TraceKind::CpuIdle`] interval if the CPU is idle and no
@@ -1149,6 +1404,7 @@ impl Sim<'_> {
                 task: task_idx,
                 job: id,
             };
+            self.queries += 1;
             let jitter = self
                 .oracle
                 .as_deref_mut()
@@ -1203,6 +1459,7 @@ impl Sim<'_> {
                 job: id,
                 min_ppm,
             };
+            self.queries += 1;
             self.oracle
                 .as_deref_mut()
                 .expect("oracle checked above")
@@ -1430,6 +1687,7 @@ impl Sim<'_> {
                         seg: d.seg,
                         attempt: d.attempt,
                     };
+                    self.queries += 1;
                     self.oracle
                         .as_deref_mut()
                         .expect("oracle checked above")

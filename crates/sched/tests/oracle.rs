@@ -9,7 +9,8 @@ use rtmdm_sched::script::{
     Choice, ChoicePoint, ScriptOracle, ScriptedChoice, SimOracle, StateHash,
 };
 use rtmdm_sched::sim::{
-    simulate, simulate_with_oracle, Engine, Policy, RaceKind, SimConfig, SimResult,
+    simulate, simulate_with_oracle, simulate_with_oracle_forked, Engine, Policy, RaceKind,
+    SimConfig, SimResult,
 };
 use rtmdm_sched::{Segment, SporadicTask, StagingMode, TaskSet};
 
@@ -315,4 +316,146 @@ fn oracle_state_hashes_are_engine_identical() {
     let legacy = run(Engine::Legacy);
     assert!(!des.is_empty());
     assert_eq!(des, legacy);
+}
+
+/// Fork contract, part 1: a run resumed from any captured snapshot is
+/// byte-identical — trace, stats, metrics, races — to the run that
+/// captured it, on both engines, including under scripted jitter,
+/// scale, and fault choices. This is what lets the explorer branch
+/// from a snapshot instead of replaying from time zero.
+#[test]
+fn forked_resume_reproduces_the_capturing_run() {
+    let p = platform();
+    let ts = TaskSet::from_tasks(vec![
+        overlapped("a", 60_000, &[(4_000, 2_048), (5_000, 2_048)]),
+        resident("b", 90_000, 90_000, 12_000),
+    ]);
+    let script = vec![
+        ScriptedChoice {
+            point: ChoicePoint::ReleaseJitter { task: 0, job: 0 },
+            value: Choice::ReleaseJitter(cy(1_500)),
+        },
+        ScriptedChoice {
+            point: ChoicePoint::ExecScale {
+                task: 0,
+                job: 0,
+                min_ppm: 500_000,
+            },
+            value: Choice::ExecScale(700_000),
+        },
+        ScriptedChoice {
+            point: ChoicePoint::TransferFault {
+                task: 0,
+                job: 0,
+                seg: 0,
+                attempt: 0,
+            },
+            value: Choice::TransferFault(true),
+        },
+        ScriptedChoice {
+            point: ChoicePoint::ReleaseJitter { task: 1, job: 0 },
+            value: Choice::ReleaseJitter(cy(900)),
+        },
+    ];
+    for engine in [Engine::Legacy, Engine::Des] {
+        let mut cfg = config(360_000, engine);
+        cfg.exec_scale_min_ppm = 500_000;
+        cfg.fault = FaultPlan {
+            seed: 0,
+            dma_fault_rate_ppm: 1,
+            max_retries: 2,
+            jitter_max_cycles: 0,
+        };
+        let mut snaps = Vec::new();
+        let mut oracle = ScriptOracle::new(script.clone());
+        let full = simulate_with_oracle_forked(&ts, &p, &cfg, &mut oracle, None, Some(&mut snaps));
+        assert!(!snaps.is_empty(), "{engine:?}: no snapshots captured");
+        for snap in &snaps {
+            assert!(snap.size_hint() > 0);
+            let suffix = script[snap.queries_before().min(script.len())..].to_vec();
+            let mut resume_oracle = ScriptOracle::new(suffix);
+            let resumed =
+                simulate_with_oracle_forked(&ts, &p, &cfg, &mut resume_oracle, Some(snap), None);
+            let ctx = format!("{engine:?} @ {:?}", snap.instant());
+            assert_same_run(&full, &resumed, &ctx);
+            assert_eq!(full.metrics, resumed.metrics, "{ctx}: metrics");
+        }
+    }
+}
+
+/// Fork contract, part 2 (the ISSUE pin): snapshots exclude the
+/// engine-private dirty flags, so the oracle fingerprint sequence a
+/// forked run observes is identical across engines — resuming a DES
+/// snapshot under DES and a legacy snapshot under legacy sees the same
+/// state hashes at the same choice positions.
+#[test]
+fn forked_fingerprints_are_engine_identical() {
+    struct Recorder {
+        hashes: Vec<StateHash>,
+    }
+    impl SimOracle for Recorder {
+        fn choose(&mut self, point: ChoicePoint, state: StateHash) -> Choice {
+            self.hashes.push(state);
+            Choice::default_for(&point)
+        }
+    }
+    let p = platform();
+    let ts = TaskSet::from_tasks(vec![
+        overlapped("a", 50_000, &[(4_000, 2_048), (4_000, 1_024)]),
+        resident("b", 80_000, 80_000, 10_000),
+    ]);
+    let run = |engine: Engine| {
+        let cfg = config(400_000, engine);
+        let mut snaps = Vec::new();
+        let mut rec = Recorder { hashes: Vec::new() };
+        simulate_with_oracle_forked(&ts, &p, &cfg, &mut rec, None, Some(&mut snaps));
+        let full = rec.hashes;
+        // Resume from a mid-run snapshot and record the suffix.
+        let snap = &snaps[snaps.len() / 2];
+        let mut rec = Recorder { hashes: Vec::new() };
+        simulate_with_oracle_forked(&ts, &p, &cfg, &mut rec, Some(snap), None);
+        (full, snap.queries_before(), rec.hashes)
+    };
+    let (full_des, qb_des, suffix_des) = run(Engine::Des);
+    let (full_legacy, qb_legacy, suffix_legacy) = run(Engine::Legacy);
+    assert!(!suffix_des.is_empty());
+    // The forked suffix equals the capturing run's tail...
+    assert_eq!(suffix_des, full_des[qb_des..].to_vec());
+    assert_eq!(suffix_legacy, full_legacy[qb_legacy..].to_vec());
+    // ...and is engine-identical, like the full sequence.
+    assert_eq!(full_des, full_legacy);
+    assert_eq!(qb_des, qb_legacy);
+    assert_eq!(suffix_des, suffix_legacy);
+}
+
+/// Fork contract, part 3 (cost): resuming past a quiet prefix re-does
+/// only suffix work — the resumed run answers exactly the queries after
+/// the snapshot instead of the whole sequence. Deliberately a
+/// work-based assertion (query count), not wall clock, so it cannot
+/// flake.
+#[test]
+fn resume_answers_only_suffix_queries() {
+    struct Counter {
+        n: usize,
+    }
+    impl SimOracle for Counter {
+        fn choose(&mut self, point: ChoicePoint, _state: StateHash) -> Choice {
+            self.n += 1;
+            Choice::default_for(&point)
+        }
+    }
+    let p = platform();
+    // A long horizon over many releases: the last snapshot sits deep in
+    // the run, so its suffix is a small fraction of the whole.
+    let ts = TaskSet::from_tasks(vec![overlapped("a", 20_000, &[(2_000, 1_024)])]);
+    let cfg = config(400_000, Engine::Des);
+    let mut snaps = Vec::new();
+    let mut full = Counter { n: 0 };
+    simulate_with_oracle_forked(&ts, &p, &cfg, &mut full, None, Some(&mut snaps));
+    let last = snaps.last().expect("snapshots captured");
+    assert!(last.queries_before() > 0, "last snapshot is not mid-run");
+    let mut resumed = Counter { n: 0 };
+    simulate_with_oracle_forked(&ts, &p, &cfg, &mut resumed, Some(last), None);
+    assert_eq!(resumed.n, full.n - last.queries_before());
+    assert!(resumed.n < full.n);
 }

@@ -13,10 +13,19 @@
 //!    event byte-identically at the explorer-predicted cycle, with the
 //!    blame decomposition naming the same dominant cause. A property
 //!    test extends direction 2 over random generated task sets.
+//!
+//! 3. **Strategy and thread-count equivalence** — the fork-based
+//!    incremental explorer and the replay-from-zero reference produce
+//!    identical verdicts, counters, and witness JSON over random task
+//!    sets × jitter × fault environments × both engines, and the
+//!    `check --explore` pipeline's output is byte-identical at any
+//!    speculative worker count.
 
 use proptest::prelude::*;
 
-use rt_mdm::check::{explore, ExploreLimits, Rule, Witness};
+use rt_mdm::check::{
+    explore, ExploreLimits, ExploreOrder, ExploreOutcome, ExploreStrategy, Rule, Witness,
+};
 use rt_mdm::core::{CheckOptions, ExploreOptions, SystemSpec, TaskSpec};
 use rt_mdm::dnn::zoo;
 use rt_mdm::mcusim::{ContentionModel, Cycles, FaultPlan, PlatformConfig, TraceKind};
@@ -232,6 +241,7 @@ fn jitter_miss_witness_replays_on_both_engines() {
         &ExploreLimits {
             max_states: 10_000,
             jitter_max_cycles: 500,
+            ..ExploreLimits::default()
         },
     );
     let w = out.witness.expect("jitter miss yields a witness");
@@ -334,6 +344,7 @@ proptest! {
         let limits = ExploreLimits {
             max_states: 500,
             jitter_max_cycles: jitter_max,
+            ..ExploreLimits::default()
         };
         let out = explore(&ts, &platform, &cfg, &limits);
         if let Some(w) = &out.witness {
@@ -353,4 +364,108 @@ proptest! {
             );
         }
     }
+
+    /// The differential contract behind `--strategy`: fork-based
+    /// incremental exploration and replay-from-zero produce identical
+    /// verdicts, counters, and witness JSON over random task sets ×
+    /// jitter × fault environments × both engines.
+    #[test]
+    fn fork_and_replay_strategies_are_outcome_identical(
+        n in 1usize..4,
+        util_ppm in 300_000u64..1_200_000,
+        seed in 0u64..64,
+        wide_exec in proptest::bool::ANY,
+        with_jitter in proptest::bool::ANY,
+        with_faults in proptest::bool::ANY,
+        legacy_engine in proptest::bool::ANY,
+        deep_first in proptest::bool::ANY,
+    ) {
+        let platform = PlatformConfig::stm32f746_qspi();
+        let mut params = TasksetParams::baseline(n, util_ppm).with_grid_periods();
+        params.segments_range = (2, 4);
+        let ts = generate(&params, &platform, seed);
+        let horizon = ts.tasks().iter().map(|t| t.period).max().unwrap() * 2;
+        let mut cfg = base_config(horizon.get());
+        cfg.exec_scale_min_ppm = if wide_exec { 500_000 } else { 1_000_000 };
+        if legacy_engine {
+            cfg.engine = Engine::Legacy;
+        }
+        if with_faults {
+            cfg.fault = FaultPlan {
+                seed: 0,
+                dma_fault_rate_ppm: 1,
+                max_retries: 2,
+                jitter_max_cycles: 0,
+            };
+        }
+        let limits = ExploreLimits {
+            max_states: 400,
+            jitter_max_cycles: if with_jitter { 40_000 } else { 0 },
+            order: if deep_first {
+                ExploreOrder::DeepFirst
+            } else {
+                ExploreOrder::ShallowFirst
+            },
+            ..ExploreLimits::default()
+        };
+        let forked = explore(&ts, &platform, &cfg, &ExploreLimits {
+            strategy: ExploreStrategy::Fork,
+            ..limits
+        });
+        let replayed = explore(&ts, &platform, &cfg, &ExploreLimits {
+            strategy: ExploreStrategy::Replay,
+            ..limits
+        });
+        prop_assert_eq!(outcome_fingerprint(&forked), outcome_fingerprint(&replayed));
+    }
+}
+
+/// Renders an exploration outcome into one comparable blob: every
+/// finding, the witness JSON the CLI would write, and the counters.
+fn outcome_fingerprint(out: &ExploreOutcome) -> String {
+    let findings: Vec<String> = out
+        .findings
+        .iter()
+        .map(|f| format!("{:?}|{}|{:?}", f.rule, f.message, f.task))
+        .collect();
+    let witness = out
+        .witness
+        .as_ref()
+        .map(|w| serde_json::to_string(w).expect("witness serializes"));
+    format!("{findings:?}\n{witness:?}\n{:?}", out.stats)
+}
+
+/// `check --explore` output is byte-identical at any speculative
+/// worker count, for both strategies (the CI smoke repeats this on the
+/// CLI binary with `RTMDM_THREADS=1` vs `8`).
+#[test]
+fn check_explore_pipeline_is_thread_count_invariant() {
+    let run = |strategy, threads| {
+        let mut spec = SystemSpec::new(PlatformConfig::stm32f746_qspi());
+        spec.push(TaskSpec::new("ic", zoo::resnet8(), 10_000, 10_000));
+        let outcome = spec.check_with(&CheckOptions {
+            explore: Some(ExploreOptions {
+                strategy,
+                threads,
+                ..ExploreOptions::default()
+            }),
+        });
+        let w = outcome.witness.expect("overload yields a witness");
+        format!(
+            "{}\n{:?}\n{}",
+            outcome.report.render_text(),
+            outcome.explore_stats,
+            serde_json::to_string(&w).expect("witness serializes"),
+        )
+    };
+    for strategy in [ExploreStrategy::Fork, ExploreStrategy::Replay] {
+        let one = run(strategy, 1);
+        assert_eq!(one, run(strategy, 2), "{strategy:?}: 1 vs 2 workers");
+        assert_eq!(one, run(strategy, 8), "{strategy:?}: 1 vs 8 workers");
+    }
+    assert_eq!(
+        run(ExploreStrategy::Fork, 1),
+        run(ExploreStrategy::Replay, 8),
+        "strategies must agree byte for byte"
+    );
 }
